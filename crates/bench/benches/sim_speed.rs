@@ -1,0 +1,47 @@
+//! Simulator throughput: how many simulated packets per second the
+//! trajectory testbed and the event-driven overload harness process. Keeps
+//! the figure regeneration honest about its own cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fm_des::Duration;
+use fm_testbed::dynamics::{run_overload, DynamicsConfig};
+use fm_testbed::{run_stream, Layer, TestbedConfig};
+use std::hint::black_box;
+
+fn bench_trajectory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_speed/trajectory_stream");
+    const COUNT: usize = 5_000;
+    g.throughput(Throughput::Elements(COUNT as u64));
+    for layer in [Layer::LanaiStreamed, Layer::Hybrid, Layer::FullFm] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{layer:?}")),
+            &layer,
+            |b, &layer| {
+                let cfg = TestbedConfig::default();
+                b.iter(|| black_box(run_stream(layer, &cfg, 128, COUNT)));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_event_driven(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_speed/event_driven_overload");
+    const COUNT: usize = 1_000;
+    g.throughput(Throughput::Elements(COUNT as u64));
+    g.bench_function("overloaded", |b| {
+        b.iter(|| {
+            black_box(run_overload(DynamicsConfig {
+                count: COUNT,
+                extract_period: Duration::from_us(100),
+                extract_budget: 8,
+                recv_ring: 16,
+                ..Default::default()
+            }))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_trajectory, bench_event_driven);
+criterion_main!(benches);

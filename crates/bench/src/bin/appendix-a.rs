@@ -1,0 +1,45 @@
+//! Appendix A: the analytic LANai peak-performance model, tabulated, plus
+//! the bound checks the simulated LCPs must respect.
+
+use fm_metrics::Table;
+use fm_myrinet::analytic;
+use fm_testbed::{run_pingpong, run_stream, Layer, TestbedConfig};
+
+fn main() {
+    println!("Appendix A: theoretical peak performance of the LANai\n");
+    println!("t_dma = 320 ns; overhead t0(N) = 320 + 12.5 N ns;");
+    println!("latency l(N) = 870 + 12.5 N ns; bandwidth r(N) = N / t0(N)\n");
+
+    let mut t = Table::new(["N (bytes)", "t0 (us)", "latency (us)", "bandwidth (MB/s)"]);
+    for n in [0usize, 4, 16, 64, 128, 256, 512, 600, 1024, 4096] {
+        t.row([
+            n.to_string(),
+            format!("{:.3}", analytic::overhead_ns(n) / 1000.0),
+            format!("{:.3}", analytic::latency_ns(n) / 1000.0),
+            format!("{:.1}", analytic::bandwidth_mbs(n)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "r_inf = {:.1} MB/s, model n1/2 = {:.1} B\n",
+        analytic::r_inf_mbs(),
+        analytic::n_half_bytes()
+    );
+
+    // Verify the simulated LCPs respect the analytic bounds everywhere.
+    let cfg = TestbedConfig::default();
+    let mut violations = 0;
+    for n in [16usize, 64, 128, 256, 512, 600] {
+        for layer in [Layer::LanaiBaseline, Layer::LanaiStreamed] {
+            let sim_lat = run_pingpong(layer, &cfg, n, 10).as_ns_f64();
+            let sim_bw = run_stream(layer, &cfg, n, 2000).mbs;
+            if sim_lat <= analytic::latency_ns(n) || sim_bw >= analytic::bandwidth_mbs(n) {
+                violations += 1;
+                println!("BOUND VIOLATION: {layer:?} at {n} B");
+            }
+        }
+    }
+    if violations == 0 {
+        println!("both simulated LCPs respect the analytic bounds at every size checked");
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 7: host-to-host performance with buffer management — the
+//! four-queue scheme, and the cost of even *simulated* packet
+//! interpretation (`switch()`) in the LCP's inner receive loop.
+//!
+//! Paper shapes: buffer management costs ~0.3 µs of startup and ~9 B of
+//! n_1/2 while preserving bandwidth (aggregated delivery DMAs); the
+//! `switch()` statement adds ~3 µs per packet on the LANai and balloons
+//! n_1/2 from 53 to 127 B — the quantitative case for doing *no* packet
+//! interpretation on the coprocessor.
+
+use fm_bench::{layer_metrics, measure_layer, render_figure, stream_count};
+use fm_testbed::Layer;
+
+fn main() {
+    let count = stream_count();
+    println!("Figure 7: buffer management, {count} packets per bandwidth point\n");
+
+    let hybrid = measure_layer(Layer::Hybrid, count);
+    let bm = measure_layer(Layer::HybridBufMgmt, count);
+    let sw = measure_layer(Layer::HybridBufMgmtSwitch, count);
+
+    println!(
+        "{}",
+        render_figure("Figure 7", &[hybrid.clone(), bm.clone(), sw.clone()])
+    );
+
+    for c in [&hybrid, &bm, &sw] {
+        let m = layer_metrics(c);
+        println!(
+            "{:<44} t0 = {:>5.2} us   r_inf = {:>5.1} MB/s   n1/2 = {:>5.0} B",
+            c.name, m.t0_us, m.r_inf_mbs, m.n_half_bytes
+        );
+    }
+
+    let m_bm = layer_metrics(&bm);
+    let m_sw = layer_metrics(&sw);
+    println!(
+        "\nswitch() penalty: +{:.1} us t0, +{:.0} B n1/2 (paper: +3.0 us, +74 B)",
+        m_sw.t0_us - m_bm.t0_us,
+        m_sw.n_half_bytes - m_bm.n_half_bytes
+    );
+    println!("paper: hybrid 3.5/21.2/44; +bm 3.8/21.9/53; +bm+switch() 6.8/21.8/127");
+}

@@ -1,0 +1,83 @@
+//! Table 4: the summary of FM 1.0 performance data — every messaging-layer
+//! configuration's t0 / r_inf / n_1/2, paper values next to simulated ones,
+//! including the two Myrinet API rows.
+
+use fm_bench::{comparison_table, layer_metrics, measure_layer, stream_count, TABLE4_PAPER};
+use fm_metrics::{csv, derive_metrics};
+use fm_myrinet_api::{api_bandwidth_sweep, api_latency_sweep, ApiVariant};
+
+fn main() {
+    let count = stream_count();
+    println!("Table 4 ({count} packets per bandwidth point; FM_STREAM_COUNT to override)\n");
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for paper in TABLE4_PAPER {
+        let curves = measure_layer(paper.layer, count);
+        let m = layer_metrics(&curves);
+        csv_rows.push(vec![
+            paper.layer.name().to_string(),
+            format!("{:.2}", paper.t0_us),
+            format!("{:.2}", m.t0_us),
+            format!("{:.2}", paper.r_inf_mbs),
+            format!("{:.2}", m.r_inf_mbs),
+            format!("{:.1}", paper.n_half_bytes),
+            format!("{:.1}", m.n_half_bytes),
+        ]);
+        rows.push((paper, m));
+    }
+    let mut table = comparison_table(&rows);
+
+    // Myrinet API rows (paper: 105 us / 23.9 MB/s / ~4.4K and
+    // 121 us / 23.9 MB/s / ~6.9K).
+    let fig_sizes = fm_bench::FIGURE_SIZES;
+    let big_sizes = [256usize, 512, 1024, 2048, 4096, 8192, 16384, 32768];
+    let api_count = 200;
+    for (v, t0_p, nh_p) in [
+        (ApiVariant::SendImm, 105.0, 4409.0),
+        (ApiVariant::Send, 121.0, 6900.0),
+    ] {
+        let lat = api_latency_sweep(v, &fig_sizes, 10);
+        let bw = api_bandwidth_sweep(v, &big_sizes, api_count);
+        let m = derive_metrics(&lat, &bw);
+        table.row([
+            v.name().to_string(),
+            format!("{t0_p:.0}"),
+            format!("{:.0}", m.t0_us),
+            "23.9".to_string(),
+            format!("{:.1}", m.r_inf_mbs),
+            format!("{nh_p:.0}"),
+            format!("{:.0}", m.n_half_bytes),
+        ]);
+        csv_rows.push(vec![
+            v.name().to_string(),
+            format!("{t0_p:.1}"),
+            format!("{:.1}", m.t0_us),
+            "23.9".to_string(),
+            format!("{:.1}", m.r_inf_mbs),
+            format!("{nh_p:.0}"),
+            format!("{:.0}", m.n_half_bytes),
+        ]);
+    }
+
+    println!("{}", table.render());
+    let _ = csv::write_file(
+        format!("{}/table4.csv", fm_bench::RESULTS_DIR),
+        &[
+            "configuration",
+            "t0_paper_us",
+            "t0_sim_us",
+            "rinf_paper_mbs",
+            "rinf_sim_mbs",
+            "nhalf_paper_b",
+            "nhalf_sim_b",
+        ],
+        &csv_rows,
+    );
+    println!("(written to {}/table4.csv)", fm_bench::RESULTS_DIR);
+    println!(
+        "\nNote: the paper's API r_inf of 23.9 MB/s is *assumed* from the SBus write\n\
+         bandwidth (its own footnote 3 — the API could not move messages large\n\
+         enough to measure); our model measures the synchronous pipeline instead."
+    );
+}

@@ -1,0 +1,235 @@
+//! Contexts: multiple logical processes sharing one FM endpoint — a
+//! working sketch of the paper's Section-7 plan ("we are exploring the
+//! software and hardware issues in extending FM to provide higher
+//! performance, multitasking (protection), and preemptive messaging"),
+//! along the lines FM 2.x later took.
+//!
+//! A [`ContextTable`] partitions the 16-bit handler-id space into fixed
+//! 256-id context windows. Each [`ContextHandle`] can only register
+//! handlers inside its own window, delivery accounting is per-context, and
+//! revoking a context atomically unregisters everything it installed —
+//! the isolation a multiprogrammed node needs, implemented entirely above
+//! the unchanged FM frame format (the context id travels in the high byte
+//! of the handler id, so senders name `(context, handler)` pairs exactly
+//! like a 1995 job scheduler would have assigned them).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::handler::{HandlerId, Outbox};
+use crate::mem::MemEndpoint;
+use fm_myrinet::NodeId;
+
+/// Handler ids per context window.
+pub const CONTEXT_WINDOW: u16 = 256;
+
+/// A context id (the high byte of the handler-id space). Context 0 is
+/// reserved: its window holds the endpoint-internal handlers (segmentation
+/// lives at id 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContextId(pub u8);
+
+impl ContextId {
+    /// The global handler id for `local` within this context.
+    pub fn handler(self, local: u8) -> HandlerId {
+        HandlerId(self.0 as u16 * CONTEXT_WINDOW + local as u16)
+    }
+}
+
+/// Per-context accounting shared with the installed handlers.
+#[derive(Debug, Default)]
+struct ContextStats {
+    delivered: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// Manages context allocation on one endpoint.
+#[derive(Debug)]
+pub struct ContextTable {
+    /// Which context ids are live; index 0 reserved.
+    live: [bool; 256],
+}
+
+impl Default for ContextTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContextTable {
+    pub fn new() -> Self {
+        let mut live = [false; 256];
+        live[0] = true; // reserved for endpoint internals
+        ContextTable { live }
+    }
+
+    /// Allocate the next free context.
+    pub fn create(&mut self) -> Option<ContextHandle> {
+        let id = (1..256).find(|&i| !self.live[i])?;
+        self.live[id] = true;
+        Some(ContextHandle {
+            id: ContextId(id as u8),
+            installed: Vec::new(),
+            stats: Arc::new(ContextStats::default()),
+        })
+    }
+
+    /// Number of live contexts (excluding the reserved one).
+    pub fn live_count(&self) -> usize {
+        self.live[1..].iter().filter(|&&b| b).count()
+    }
+
+    /// Revoke a context: every handler it installed is unregistered and
+    /// its id becomes reusable. Returns how many handlers were removed.
+    pub fn revoke(&mut self, ctx: ContextHandle, ep: &mut MemEndpoint) -> usize {
+        let mut removed = 0;
+        for hid in &ctx.installed {
+            if ep.unregister_handler(*hid) {
+                removed += 1;
+            }
+        }
+        self.live[ctx.id.0 as usize] = false;
+        removed
+    }
+}
+
+/// One logical process's capability to use the endpoint.
+#[derive(Debug)]
+pub struct ContextHandle {
+    id: ContextId,
+    installed: Vec<HandlerId>,
+    stats: Arc<ContextStats>,
+}
+
+impl ContextHandle {
+    pub fn id(&self) -> ContextId {
+        self.id
+    }
+
+    /// Register a handler at a *local* id within this context's window.
+    /// The wrapper adds per-context delivery accounting.
+    ///
+    /// # Panics
+    /// Panics if the local id is already installed by this context — ids
+    /// are a namespace the context owns, so reuse is a caller bug.
+    pub fn register(
+        &mut self,
+        ep: &mut MemEndpoint,
+        local: u8,
+        mut h: impl FnMut(&mut Outbox, NodeId, &[u8]) + Send + 'static,
+    ) -> HandlerId {
+        let gid = self.id.handler(local);
+        assert!(
+            !self.installed.contains(&gid),
+            "context {:?} already installed local handler {local}",
+            self.id
+        );
+        let stats = self.stats.clone();
+        ep.register_handler_at(gid, move |out, src, data| {
+            stats.delivered.fetch_add(1, Ordering::Relaxed);
+            stats.bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+            h(out, src, data);
+        });
+        self.installed.push(gid);
+        gid
+    }
+
+    /// Messages delivered into this context so far.
+    pub fn delivered(&self) -> u64 {
+        self.stats.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes delivered into this context so far.
+    pub fn bytes(&self) -> u64 {
+        self.stats.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Handlers this context has installed.
+    pub fn installed(&self) -> &[HandlerId] {
+        &self.installed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemCluster;
+
+    #[test]
+    fn context_ids_partition_the_handler_space() {
+        assert_eq!(ContextId(1).handler(0), HandlerId(256));
+        assert_eq!(ContextId(1).handler(255), HandlerId(511));
+        assert_eq!(ContextId(2).handler(0), HandlerId(512));
+    }
+
+    #[test]
+    fn contexts_isolate_and_account_deliveries() {
+        let mut nodes = MemCluster::new(2);
+        let mut b = nodes.pop().expect("node 1");
+        let mut a = nodes.pop().expect("node 0");
+        let mut table = ContextTable::new();
+        let mut web = table.create().expect("ctx");
+        let mut db = table.create().expect("ctx");
+        assert_ne!(web.id(), db.id());
+        assert_eq!(table.live_count(), 2);
+
+        let h_web = web.register(&mut b, 0, |_, _, _| {});
+        let h_db = db.register(&mut b, 0, |_, _, _| {});
+        assert_ne!(h_web, h_db, "same local id, different global ids");
+
+        a.send(NodeId(1), h_web, b"www");
+        a.send(NodeId(1), h_db, b"sql-1");
+        a.send(NodeId(1), h_db, b"sql-2");
+        while b.extract() > 0 {}
+
+        assert_eq!(web.delivered(), 1);
+        assert_eq!(web.bytes(), 3);
+        assert_eq!(db.delivered(), 2);
+        assert_eq!(db.bytes(), 10);
+    }
+
+    #[test]
+    fn revoke_unregisters_everything() {
+        let mut nodes = MemCluster::new(2);
+        let mut b = nodes.pop().expect("node 1");
+        let mut a = nodes.pop().expect("node 0");
+        let mut table = ContextTable::new();
+        let mut ctx = table.create().expect("ctx");
+        let h0 = ctx.register(&mut b, 0, |_, _, _| {});
+        let _h1 = ctx.register(&mut b, 1, |_, _, _| {});
+        let removed = table.revoke(ctx, &mut b);
+        assert_eq!(removed, 2);
+        assert_eq!(table.live_count(), 0);
+
+        // Messages to the dead context are consumed as unknown handlers —
+        // no cross-context leakage, no crash.
+        a.send(NodeId(1), h0, b"zombie");
+        b.extract();
+        assert_eq!(b.stats().unknown_handler, 1);
+
+        // The id is recyclable.
+        let again = table.create().expect("ctx");
+        assert_eq!(again.id(), ContextId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already installed")]
+    fn double_local_registration_is_a_bug() {
+        let mut nodes = MemCluster::new(1);
+        let mut a = nodes.pop().expect("node 0");
+        let mut table = ContextTable::new();
+        let mut ctx = table.create().expect("ctx");
+        ctx.register(&mut a, 7, |_, _, _| {});
+        ctx.register(&mut a, 7, |_, _, _| {});
+    }
+
+    #[test]
+    fn exhausting_contexts_returns_none() {
+        let mut table = ContextTable::new();
+        let mut held = Vec::new();
+        for _ in 0..255 {
+            held.push(table.create().expect("capacity"));
+        }
+        assert!(table.create().is_none(), "256th user context must fail");
+    }
+}

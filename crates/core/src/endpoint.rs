@@ -1,0 +1,680 @@
+//! The FM endpoint protocol engine — pure state, no I/O, no clock.
+//!
+//! [`EndpointCore`] combines the frame codec, handler table, host receive
+//! ring and return-to-sender flow control into a single state machine with
+//! three entry points mirroring the FM calls:
+//!
+//! * [`EndpointCore::try_send`] — `FM_send` / `FM_send_4`: reserve a window
+//!   slot, piggyback any pending acks toward that destination, queue the
+//!   frame for the wire;
+//! * [`EndpointCore::on_wire`] — a frame arrived: data is accepted into the
+//!   receive ring (or bounced when the ring is full), returns are parked
+//!   for retransmission, acks release window slots;
+//! * [`EndpointCore::extract`] — `FM_extract`: retransmit parked frames,
+//!   deliver ring contents to handlers, flush handler-issued sends and any
+//!   acknowledgements that found no data frame to ride on.
+//!
+//! Transports (the threaded [`crate::mem`] runtime, or a test harness)
+//! shuttle frames between `take_outgoing` and `on_wire`.
+
+use bytes::Bytes;
+use fm_myrinet::NodeId;
+use std::collections::VecDeque;
+
+use crate::flow::{AckTracker, SenderFlow};
+use crate::frame::{FrameKind, WireFrame, FM_FRAME_PAYLOAD};
+use crate::handler::{Handler, HandlerId, HandlerRegistry, Outbox};
+use crate::queues::PacketRing;
+
+/// Non-blocking send failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The outstanding-packet window (host reject queue) is exhausted;
+    /// extract/acks must make progress first.
+    WouldBlock,
+    /// Payload exceeds [`FM_FRAME_PAYLOAD`]. Use the segmentation layer.
+    TooLarge { len: usize },
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::WouldBlock => write!(f, "send window full"),
+            SendError::TooLarge { len } => {
+                write!(f, "payload {len} B exceeds the {FM_FRAME_PAYLOAD} B frame")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Counters exposed for tests, examples and the overload experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Data frames queued for the wire (first transmissions).
+    pub sent: u64,
+    /// Data frames retransmitted after a bounce.
+    pub retransmitted: u64,
+    /// Handler invocations (messages delivered).
+    pub delivered: u64,
+    /// Incoming data frames we bounced for lack of ring space.
+    pub rejected: u64,
+    /// Our own frames that came back bounced.
+    pub bounced: u64,
+    /// Ack slots processed (piggybacked or standalone).
+    pub acks_received: u64,
+    /// Standalone ack frames we emitted.
+    pub ack_frames_sent: u64,
+    /// Frames received with an unregistered handler id (dropped, acked).
+    pub unknown_handler: u64,
+    /// Handler-issued sends that had to be deferred because the window was
+    /// full at flush time.
+    pub deferred_sends: u64,
+    /// Messages delivered to self without touching the network.
+    pub loopback: u64,
+}
+
+/// Configuration knobs for one endpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct EndpointConfig {
+    /// Outstanding-packet window = host reject queue capacity.
+    pub window: usize,
+    /// Host receive queue (DMA-region ring) depth, in frames.
+    pub recv_ring: usize,
+    /// Maximum retransmissions issued per extract call (paces bounce
+    /// storms; progress is guaranteed because bounced frames keep their
+    /// reserved slots).
+    pub retransmit_per_extract: usize,
+}
+
+impl Default for EndpointConfig {
+    fn default() -> Self {
+        EndpointConfig {
+            window: 64,
+            recv_ring: 256,
+            retransmit_per_extract: 16,
+        }
+    }
+}
+
+/// The FM endpoint state machine. See the module docs.
+pub struct EndpointCore {
+    id: NodeId,
+    config: EndpointConfig,
+    registry: HandlerRegistry,
+    sender: SenderFlow<WireFrame>,
+    acks: AckTracker,
+    recv_ring: PacketRing<WireFrame>,
+    outgoing: VecDeque<WireFrame>,
+    /// Handler-issued sends that found the window full; retried on every
+    /// subsequent extract/send opportunity.
+    deferred: VecDeque<(NodeId, HandlerId, Bytes)>,
+    outbox: Outbox,
+    stats: EndpointStats,
+}
+
+impl std::fmt::Debug for EndpointCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EndpointCore")
+            .field("id", &self.id)
+            .field("outstanding", &self.sender.outstanding())
+            .field("ring", &self.recv_ring.len())
+            .field("outgoing", &self.outgoing.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl EndpointCore {
+    pub fn new(id: NodeId, config: EndpointConfig) -> Self {
+        EndpointCore {
+            id,
+            registry: HandlerRegistry::new(),
+            sender: SenderFlow::new(config.window),
+            acks: AckTracker::new(),
+            recv_ring: PacketRing::new(config.recv_ring),
+            outgoing: VecDeque::new(),
+            deferred: VecDeque::new(),
+            outbox: Outbox::new(id),
+            stats: EndpointStats::default(),
+            config,
+        }
+    }
+
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    pub fn stats(&self) -> EndpointStats {
+        self.stats
+    }
+
+    pub fn config(&self) -> EndpointConfig {
+        self.config
+    }
+
+    /// Messages outstanding in the send window.
+    pub fn outstanding(&self) -> usize {
+        self.sender.outstanding()
+    }
+
+    /// True when a non-deferred send would currently succeed.
+    pub fn can_send(&self) -> bool {
+        self.sender.can_send()
+    }
+
+    /// Frames waiting in the receive ring (not yet extracted).
+    pub fn pending_extract(&self) -> usize {
+        self.recv_ring.len()
+    }
+
+    // ---- handler registration -------------------------------------------
+
+    pub fn register_handler(&mut self, h: Handler) -> HandlerId {
+        self.registry.register(h)
+    }
+
+    pub fn register_handler_at(&mut self, id: HandlerId, h: Handler) {
+        self.registry.register_at(id, h);
+    }
+
+    pub fn unregister_handler(&mut self, id: HandlerId) -> bool {
+        self.registry.unregister(id)
+    }
+
+    // ---- sending ---------------------------------------------------------
+
+    /// `FM_send`: queue a message of up to 128 bytes for `dst`.
+    pub fn try_send(
+        &mut self,
+        dst: NodeId,
+        handler: HandlerId,
+        payload: impl Into<Bytes>,
+    ) -> Result<(), SendError> {
+        let payload = payload.into();
+        if payload.len() > FM_FRAME_PAYLOAD {
+            return Err(SendError::TooLarge { len: payload.len() });
+        }
+        if dst == self.id {
+            return self.loopback(handler, payload);
+        }
+        // Fairness: deferred handler sends go out before fresh traffic.
+        self.flush_deferred();
+        let (slot, seq) = self.sender.begin_send().ok_or(SendError::WouldBlock)?;
+        let mut frame = WireFrame::data(self.id, dst, handler, slot, seq, payload);
+        frame.piggy = self.acks.take_piggy(dst);
+        self.outgoing.push_back(frame);
+        self.stats.sent += 1;
+        Ok(())
+    }
+
+    /// `FM_send_4`: queue a four-word message.
+    pub fn try_send_4(
+        &mut self,
+        dst: NodeId,
+        handler: HandlerId,
+        words: [u32; 4],
+    ) -> Result<(), SendError> {
+        let mut buf = [0u8; 16];
+        for (i, w) in words.iter().enumerate() {
+            buf[4 * i..4 * i + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        self.try_send(dst, handler, buf.to_vec())
+    }
+
+    /// Vectored send: gather `parts` into one frame (the scatter-gather
+    /// convenience the Myrinet API advertises, provided here without its
+    /// descriptor-handshake costs). The parts must total <= 128 bytes.
+    pub fn try_send_gather(
+        &mut self,
+        dst: NodeId,
+        handler: HandlerId,
+        parts: &[&[u8]],
+    ) -> Result<(), SendError> {
+        let len: usize = parts.iter().map(|p| p.len()).sum();
+        if len > FM_FRAME_PAYLOAD {
+            return Err(SendError::TooLarge { len });
+        }
+        let mut buf = Vec::with_capacity(len);
+        for p in parts {
+            buf.extend_from_slice(p);
+        }
+        self.try_send(dst, handler, buf)
+    }
+
+    fn loopback(&mut self, handler: HandlerId, payload: Bytes) -> Result<(), SendError> {
+        // Local messages skip the network and flow control entirely, but
+        // still ride the receive ring so delivery order relative to other
+        // arrivals is preserved and handlers still run inside extract.
+        let frame = WireFrame::data(self.id, self.id, handler, 0, 0, payload);
+        self.recv_ring.push(frame).map_err(|_| SendError::WouldBlock)?;
+        self.stats.loopback += 1;
+        Ok(())
+    }
+
+    // ---- wire input ------------------------------------------------------
+
+    /// Process one frame that arrived from the network.
+    pub fn on_wire(&mut self, frame: WireFrame) {
+        debug_assert_eq!(frame.dst, self.id, "transport misrouted a frame");
+        // Piggybacked acks count regardless of what happens to the frame.
+        for &slot in frame.piggy.as_slice() {
+            self.sender.on_ack(slot);
+            self.stats.acks_received += 1;
+        }
+        match frame.kind {
+            FrameKind::Data => {
+                let src = frame.src;
+                let slot = frame.slot;
+                match self.recv_ring.push(frame) {
+                    Ok(()) => self.acks.on_accept(src, slot),
+                    Err(frame) => {
+                        // Return to sender: the receiver has no room; the
+                        // source reserved reject-queue space for exactly
+                        // this case.
+                        self.stats.rejected += 1;
+                        self.outgoing.push_back(frame.into_return());
+                    }
+                }
+            }
+            FrameKind::Return => {
+                let slot = frame.slot;
+                if self.sender.on_bounce(slot, frame) {
+                    self.stats.bounced += 1;
+                }
+            }
+            FrameKind::Ack => { /* piggy area already processed above */ }
+        }
+    }
+
+    // ---- extraction ------------------------------------------------------
+
+    /// `FM_extract`: deliver up to `max` messages to their handlers.
+    /// Returns the number delivered. Also paces retransmissions and
+    /// flushes acknowledgements and handler-issued sends.
+    pub fn extract(&mut self, max: usize) -> usize {
+        self.retransmit_some();
+        let mut delivered = 0;
+        while delivered < max {
+            let Some(frame) = self.recv_ring.pop() else {
+                break;
+            };
+            if self.deliver(frame) {
+                delivered += 1;
+            }
+        }
+        self.flush_deferred();
+        self.flush_acks(true);
+        delivered
+    }
+
+    /// Returns true when a handler actually ran (unknown-handler frames are
+    /// consumed without counting as deliveries).
+    fn deliver(&mut self, frame: WireFrame) -> bool {
+        match self.registry.take(frame.handler) {
+            Some(mut h) => {
+                h(&mut self.outbox, frame.src, &frame.payload);
+                self.registry.put_back(frame.handler, h);
+                self.stats.delivered += 1;
+                // Flush handler sends immediately so causally-related
+                // messages leave in issue order when the window allows.
+                let queued: Vec<_> = self.outbox.drain().collect();
+                for (dst, handler, payload) in queued {
+                    if self.try_send(dst, handler, payload.clone()).is_err() {
+                        self.stats.deferred_sends += 1;
+                        self.deferred.push_back((dst, handler, payload));
+                    }
+                }
+                true
+            }
+            None => {
+                // Unknown handler: the message is consumed (and was already
+                // acked on acceptance) — matching FM's "buffers do not
+                // persist"; we surface it in stats rather than crashing the
+                // node.
+                self.stats.unknown_handler += 1;
+                false
+            }
+        }
+    }
+
+    fn retransmit_some(&mut self) {
+        for _ in 0..self.config.retransmit_per_extract {
+            let Some((_slot, frame)) = self.sender.pop_retransmit() else {
+                break;
+            };
+            let mut frame = frame.into_retransmit();
+            frame.piggy = self.acks.take_piggy(frame.dst);
+            self.stats.retransmitted += 1;
+            self.outgoing.push_back(frame);
+        }
+    }
+
+    fn flush_deferred(&mut self) {
+        while let Some((dst, handler, payload)) = self.deferred.pop_front() {
+            let Some((slot, seq)) = self.sender.begin_send() else {
+                self.deferred.push_front((dst, handler, payload));
+                break;
+            };
+            let mut frame = WireFrame::data(self.id, dst, handler, slot, seq, payload);
+            frame.piggy = self.acks.take_piggy(dst);
+            self.outgoing.push_back(frame);
+            self.stats.sent += 1;
+        }
+    }
+
+    /// Emit standalone ack frames. `force` drains everything (end of
+    /// extract); otherwise only full batches go.
+    pub fn flush_acks(&mut self, force: bool) {
+        for (dst, slots) in self.acks.take_standalone(force) {
+            self.outgoing.push_back(WireFrame::ack(self.id, dst, &slots));
+            self.stats.ack_frames_sent += 1;
+        }
+    }
+
+    // ---- transport side --------------------------------------------------
+
+    /// Pop the next frame bound for the wire.
+    pub fn pop_outgoing(&mut self) -> Option<WireFrame> {
+        self.outgoing.pop_front()
+    }
+
+    /// Frames currently queued for the wire.
+    pub fn outgoing_len(&self) -> usize {
+        self.outgoing.len()
+    }
+
+    /// True when this endpoint holds no protocol state that still needs the
+    /// network: nothing outstanding, nothing queued, nothing to extract.
+    pub fn is_quiescent(&self) -> bool {
+        self.sender.outstanding() == 0
+            && self.outgoing.is_empty()
+            && self.recv_ring.is_empty()
+            && self.deferred.is_empty()
+            && self.acks.pending_total() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn pair() -> (EndpointCore, EndpointCore) {
+        (
+            EndpointCore::new(NodeId(0), EndpointConfig::default()),
+            EndpointCore::new(NodeId(1), EndpointConfig::default()),
+        )
+    }
+
+    /// Move every queued frame from `a` to `b` and vice versa until both
+    /// wires are empty (a zero-latency lossless network).
+    fn pump(a: &mut EndpointCore, b: &mut EndpointCore) {
+        loop {
+            let mut moved = false;
+            while let Some(f) = a.pop_outgoing() {
+                b.on_wire(f);
+                moved = true;
+            }
+            while let Some(f) = b.pop_outgoing() {
+                a.on_wire(f);
+                moved = true;
+            }
+            if !moved {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn simple_send_extract_delivers() {
+        let (mut a, mut b) = pair();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h2 = hits.clone();
+        let hid = b.register_handler(Box::new(move |_, src, data| {
+            assert_eq!(src, NodeId(0));
+            assert_eq!(data, b"ping");
+            h2.fetch_add(1, Ordering::SeqCst);
+        }));
+        a.try_send(NodeId(1), hid, &b"ping"[..]).unwrap();
+        pump(&mut a, &mut b);
+        assert_eq!(b.extract(usize::MAX), 1);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        // The ack flows back and releases a's slot.
+        pump(&mut a, &mut b);
+        assert_eq!(a.outstanding(), 0);
+        assert!(a.stats().acks_received >= 1);
+    }
+
+    #[test]
+    fn send_4_payload_is_16_bytes() {
+        let (mut a, mut b) = pair();
+        let hid = b.register_handler(Box::new(|_, _, data| {
+            assert_eq!(data.len(), 16);
+            let w0 = u32::from_le_bytes(data[0..4].try_into().unwrap());
+            assert_eq!(w0, 0x1234_5678);
+        }));
+        a.try_send_4(NodeId(1), hid, [0x1234_5678, 0, 0, 0]).unwrap();
+        pump(&mut a, &mut b);
+        assert_eq!(b.extract(usize::MAX), 1);
+    }
+
+    #[test]
+    fn window_exhaustion_blocks_until_acked() {
+        let mut a = EndpointCore::new(
+            NodeId(0),
+            EndpointConfig {
+                window: 2,
+                ..Default::default()
+            },
+        );
+        let mut b = EndpointCore::new(NodeId(1), EndpointConfig::default());
+        let hid = b.register_handler(Box::new(|_, _, _| {}));
+        a.try_send(NodeId(1), hid, &[1][..]).unwrap();
+        a.try_send(NodeId(1), hid, &[2][..]).unwrap();
+        assert_eq!(
+            a.try_send(NodeId(1), hid, &[3][..]),
+            Err(SendError::WouldBlock)
+        );
+        pump(&mut a, &mut b);
+        b.extract(usize::MAX);
+        pump(&mut a, &mut b);
+        assert_eq!(a.outstanding(), 0);
+        a.try_send(NodeId(1), hid, &[3][..]).unwrap();
+    }
+
+    #[test]
+    fn full_ring_bounces_and_retransmission_recovers() {
+        let mut a = EndpointCore::new(NodeId(0), EndpointConfig::default());
+        let mut b = EndpointCore::new(
+            NodeId(1),
+            EndpointConfig {
+                recv_ring: 4,
+                ..Default::default()
+            },
+        );
+        let delivered = Arc::new(AtomicU64::new(0));
+        let d2 = delivered.clone();
+        let hid = b.register_handler(Box::new(move |_, _, _| {
+            d2.fetch_add(1, Ordering::SeqCst);
+        }));
+        // Send 10 frames into a 4-deep ring without extracting: 6 bounce.
+        for i in 0..10u8 {
+            a.try_send(NodeId(1), hid, vec![i]).unwrap();
+        }
+        pump(&mut a, &mut b);
+        assert_eq!(b.stats().rejected, 6);
+        assert_eq!(a.stats().bounced, 6);
+        // Drain and retransmit until everything lands.
+        let mut rounds = 0;
+        while delivered.load(Ordering::SeqCst) < 10 {
+            b.extract(usize::MAX);
+            a.extract(usize::MAX); // paces retransmissions
+            pump(&mut a, &mut b);
+            rounds += 1;
+            assert!(rounds < 50, "no progress: {:?} / {:?}", a, b);
+        }
+        assert_eq!(delivered.load(Ordering::SeqCst), 10);
+        // At least the six original bounces retransmit; re-bounces may add
+        // more.
+        assert!(a.stats().retransmitted >= 6);
+        pump(&mut a, &mut b);
+        b.extract(usize::MAX);
+        a.extract(usize::MAX);
+        pump(&mut a, &mut b);
+        assert!(a.is_quiescent(), "{a:?}");
+        assert!(b.is_quiescent(), "{b:?}");
+    }
+
+    #[test]
+    fn handler_reply_from_handler() {
+        let (mut a, mut b) = pair();
+        let got_reply = Arc::new(AtomicU64::new(0));
+        let g2 = got_reply.clone();
+        let reply_h = a.register_handler(Box::new(move |_, src, data| {
+            assert_eq!(src, NodeId(1));
+            assert_eq!(data, b"pong");
+            g2.fetch_add(1, Ordering::SeqCst);
+        }));
+        // b's handler replies to the sender — the Active-Messages idiom.
+        let ping_h = b.register_handler(Box::new(move |out, src, _| {
+            out.send(src, reply_h, &b"pong"[..]);
+        }));
+        assert_eq!(ping_h, reply_h, "both registries assign id 1 here");
+        a.try_send(NodeId(1), ping_h, &b"ping"[..]).unwrap();
+        pump(&mut a, &mut b);
+        b.extract(usize::MAX);
+        pump(&mut a, &mut b);
+        a.extract(usize::MAX);
+        assert_eq!(got_reply.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn loopback_skips_network() {
+        let mut a = EndpointCore::new(NodeId(0), EndpointConfig::default());
+        let hits = Arc::new(AtomicU64::new(0));
+        let h2 = hits.clone();
+        let hid = a.register_handler(Box::new(move |_, src, _| {
+            assert_eq!(src, NodeId(0));
+            h2.fetch_add(1, Ordering::SeqCst);
+        }));
+        a.try_send(NodeId(0), hid, &b"self"[..]).unwrap();
+        assert_eq!(a.outgoing_len(), 0, "nothing on the wire");
+        assert_eq!(a.extract(usize::MAX), 1);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(a.stats().loopback, 1);
+    }
+
+    #[test]
+    fn unknown_handler_counted_not_fatal() {
+        let (mut a, mut b) = pair();
+        a.try_send(NodeId(1), HandlerId(77), &b"?"[..]).unwrap();
+        pump(&mut a, &mut b);
+        assert_eq!(b.extract(usize::MAX), 0);
+        assert_eq!(b.stats().unknown_handler, 1);
+        // Still acked: sender's slot frees.
+        pump(&mut a, &mut b);
+        assert_eq!(a.outstanding(), 0);
+    }
+
+    #[test]
+    fn gather_send_concatenates_parts() {
+        let (mut a, mut b) = pair();
+        let hid = b.register_handler(Box::new(|_, _, data| {
+            assert_eq!(data, b"header|body|trailer");
+        }));
+        a.try_send_gather(NodeId(1), hid, &[&b"header|"[..], b"body|", b"trailer"])
+            .unwrap();
+        pump(&mut a, &mut b);
+        assert_eq!(b.extract(usize::MAX), 1);
+        // Oversized gathers are rejected with the total length.
+        let big = [0u8; 100];
+        assert_eq!(
+            a.try_send_gather(NodeId(1), hid, &[&big, &big]),
+            Err(SendError::TooLarge { len: 200 })
+        );
+        // Empty gather is a legal zero-byte message.
+        a.try_send_gather(NodeId(1), hid, &[]).unwrap();
+    }
+
+    #[test]
+    fn oversized_send_rejected() {
+        let (mut a, _) = pair();
+        assert_eq!(
+            a.try_send(NodeId(1), HandlerId(1), vec![0u8; 200]),
+            Err(SendError::TooLarge { len: 200 })
+        );
+    }
+
+    #[test]
+    fn extract_budget_limits_deliveries() {
+        let (mut a, mut b) = pair();
+        let hid = b.register_handler(Box::new(|_, _, _| {}));
+        for _ in 0..5 {
+            a.try_send(NodeId(1), hid, &[0][..]).unwrap();
+        }
+        pump(&mut a, &mut b);
+        assert_eq!(b.extract(2), 2);
+        assert_eq!(b.pending_extract(), 3);
+        assert_eq!(b.extract(usize::MAX), 3);
+    }
+
+    #[test]
+    fn acks_piggyback_on_reverse_data() {
+        let (mut a, mut b) = pair();
+        let ha = a.register_handler(Box::new(|_, _, _| {}));
+        let hb = b.register_handler(Box::new(|_, _, _| {}));
+        a.try_send(NodeId(1), hb, &[1][..]).unwrap();
+        pump(&mut a, &mut b);
+        b.extract(usize::MAX); // accepts + queues ack (standalone flush happens too)
+        // Reset: send again and reply *before* extract's forced flush by
+        // sending reverse data in the same extract-cycle window.
+        a.try_send(NodeId(1), hb, &[2][..]).unwrap();
+        pump(&mut a, &mut b);
+        // b receives the data; now b sends its own data frame — the pending
+        // ack should ride on it.
+        b.try_send(NodeId(0), ha, &[3][..]).unwrap();
+        let f = b.pop_outgoing().expect("data frame queued");
+        assert_eq!(f.kind, FrameKind::Data);
+        assert!(
+            !f.piggy.is_empty(),
+            "ack for a's frame must piggyback on b's data frame"
+        );
+        a.on_wire(f);
+        assert!(a.stats().acks_received >= 1);
+    }
+
+    #[test]
+    fn deferred_handler_sends_flush_later() {
+        // a's handler fires a burst of replies through a tiny window.
+        let mut a = EndpointCore::new(
+            NodeId(0),
+            EndpointConfig {
+                window: 1,
+                ..Default::default()
+            },
+        );
+        let mut b = EndpointCore::new(NodeId(1), EndpointConfig::default());
+        let sink = b.register_handler(Box::new(|_, _, _| {}));
+        let trigger = a.register_handler(Box::new(move |out, _, _| {
+            for i in 0..4u8 {
+                out.send(NodeId(1), sink, vec![i]);
+            }
+        }));
+        // Kick a via loopback.
+        a.try_send(NodeId(0), trigger, &[][..]).unwrap();
+        a.extract(usize::MAX);
+        assert!(a.stats().deferred_sends > 0, "window of 1 must defer");
+        // Keep pumping: deferred sends drain as acks free the window.
+        for _ in 0..20 {
+            pump(&mut a, &mut b);
+            b.extract(usize::MAX);
+            pump(&mut a, &mut b);
+            a.extract(usize::MAX);
+        }
+        assert_eq!(b.stats().delivered, 4);
+        assert!(a.is_quiescent());
+    }
+}

@@ -1,0 +1,284 @@
+//! Return-to-sender flow control (paper Section 4.5).
+//!
+//! The sender side is a [`RejectQueue`] (see [`crate::queues`]) plus a
+//! sequence counter; the receiver side is an [`AckTracker`] that batches
+//! acknowledgements and prefers piggybacking them on reverse-direction data
+//! frames ("FM 1.0 optimizes further by piggybacking acknowledgements on
+//! ordinary data packets").
+//!
+//! Both the real threaded runtime (`fm-core::mem`) and the timed simulator
+//! (`fm-testbed`) drive these same state machines; the simulator only adds
+//! instruction-cost charges around the calls.
+
+use crate::frame::{PiggyAcks, PIGGY_MAX};
+use crate::queues::RejectQueue;
+use fm_myrinet::NodeId;
+use std::collections::BTreeMap;
+
+/// How many accepted-but-unacknowledged frames trigger a standalone ack
+/// frame when no reverse traffic is available to piggyback on. One full
+/// piggyback area's worth.
+pub const ACK_BATCH: usize = PIGGY_MAX;
+
+/// Sender-side flow state: the outstanding-packet window and retransmission
+/// queue, parameterized over the payload token kept for bounced packets.
+#[derive(Debug, Clone)]
+pub struct SenderFlow<T> {
+    reject: RejectQueue<T>,
+    next_seq: u32,
+    /// Statistics.
+    pub sent: u64,
+    pub retransmitted: u64,
+    pub acked: u64,
+    pub bounced: u64,
+    pub stray_acks: u64,
+}
+
+impl<T> SenderFlow<T> {
+    pub fn new(window: usize) -> Self {
+        SenderFlow {
+            reject: RejectQueue::new(window),
+            next_seq: 0,
+            sent: 0,
+            retransmitted: 0,
+            acked: 0,
+            bounced: 0,
+            stray_acks: 0,
+        }
+    }
+
+    pub fn window(&self) -> usize {
+        self.reject.capacity()
+    }
+
+    pub fn outstanding(&self) -> usize {
+        self.reject.outstanding()
+    }
+
+    pub fn can_send(&self) -> bool {
+        self.reject.has_space()
+    }
+
+    /// Reserve a slot and sequence number for a fresh frame.
+    pub fn begin_send(&mut self) -> Option<(u16, u32)> {
+        let slot = self.reject.reserve()?;
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.sent += 1;
+        Some((slot, seq))
+    }
+
+    /// Process an acknowledgement for `slot`.
+    pub fn on_ack(&mut self, slot: u16) {
+        if self.reject.ack(slot) {
+            self.acked += 1;
+        } else {
+            self.stray_acks += 1;
+        }
+    }
+
+    /// A frame bounced back; park it for retransmission.
+    pub fn on_bounce(&mut self, slot: u16, payload: T) -> bool {
+        let ok = self.reject.bounce(slot, payload);
+        if ok {
+            self.bounced += 1;
+        } else {
+            self.stray_acks += 1;
+        }
+        ok
+    }
+
+    /// Next parked frame to retransmit (slot stays reserved).
+    pub fn pop_retransmit(&mut self) -> Option<(u16, T)> {
+        let r = self.reject.pop_retransmit();
+        if r.is_some() {
+            self.retransmitted += 1;
+        }
+        r
+    }
+
+    /// Frames parked awaiting retransmission.
+    pub fn pending_retransmits(&self) -> usize {
+        self.reject.returned()
+    }
+}
+
+/// Receiver-side acknowledgement batching.
+///
+/// Uses a `BTreeMap` so drain order is deterministic (node-id order) — the
+/// simulator depends on run-to-run reproducibility.
+#[derive(Debug, Clone, Default)]
+pub struct AckTracker {
+    pending: BTreeMap<NodeId, Vec<u16>>,
+    /// Statistics.
+    pub accepted: u64,
+    pub piggybacked: u64,
+    pub standalone_frames: u64,
+}
+
+impl AckTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that a data frame from `src` occupying sender slot `slot` was
+    /// accepted and must eventually be acknowledged.
+    pub fn on_accept(&mut self, src: NodeId, slot: u16) {
+        self.pending.entry(src).or_default().push(slot);
+        self.accepted += 1;
+    }
+
+    /// Total acks pending toward `dst`.
+    pub fn pending_for(&self, dst: NodeId) -> usize {
+        self.pending.get(&dst).map_or(0, Vec::len)
+    }
+
+    /// Total acks pending toward anyone.
+    pub fn pending_total(&self) -> usize {
+        self.pending.values().map(Vec::len).sum()
+    }
+
+    /// Fill a piggyback area for a data frame headed to `dst` (oldest acks
+    /// first).
+    pub fn take_piggy(&mut self, dst: NodeId) -> PiggyAcks {
+        let mut p = PiggyAcks::new();
+        if let Some(v) = self.pending.get_mut(&dst) {
+            let take = v.len().min(PIGGY_MAX);
+            for slot in v.drain(..take) {
+                let ok = p.push(slot);
+                debug_assert!(ok);
+            }
+            if v.is_empty() {
+                self.pending.remove(&dst);
+            }
+            self.piggybacked += take as u64;
+        }
+        p
+    }
+
+    /// Drain ack batches for standalone ack frames. With `force`, every
+    /// pending ack is drained (used at the end of an extract call so a
+    /// sender with no reverse traffic is never starved of acks); otherwise
+    /// only destinations with at least [`ACK_BATCH`] pending are drained.
+    /// Each returned group fits one ack frame (<= [`PIGGY_MAX`] slots).
+    pub fn take_standalone(&mut self, force: bool) -> Vec<(NodeId, Vec<u16>)> {
+        let mut out = Vec::new();
+        let nodes: Vec<NodeId> = self.pending.keys().copied().collect();
+        for node in nodes {
+            let v = self.pending.get_mut(&node).expect("key just listed");
+            if !force && v.len() < ACK_BATCH {
+                continue;
+            }
+            while !v.is_empty() && (force || v.len() >= ACK_BATCH) {
+                let take = v.len().min(PIGGY_MAX);
+                let group: Vec<u16> = v.drain(..take).collect();
+                self.standalone_frames += 1;
+                out.push((node, group));
+            }
+            if v.is_empty() {
+                self.pending.remove(&node);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sender_window_blocks_then_reopens() {
+        let mut s: SenderFlow<()> = SenderFlow::new(2);
+        let (a, seq_a) = s.begin_send().unwrap();
+        let (b, seq_b) = s.begin_send().unwrap();
+        assert_eq!(seq_b, seq_a + 1);
+        assert!(s.begin_send().is_none());
+        assert!(!s.can_send());
+        s.on_ack(a);
+        assert!(s.can_send());
+        let (c, _) = s.begin_send().unwrap();
+        assert_eq!(c, a, "slot recycled");
+        assert_eq!(s.outstanding(), 2);
+        let _ = b;
+    }
+
+    #[test]
+    fn bounce_then_retransmit_then_ack() {
+        let mut s: SenderFlow<u32> = SenderFlow::new(4);
+        let (slot, _) = s.begin_send().unwrap();
+        assert!(s.on_bounce(slot, 777));
+        assert_eq!(s.pending_retransmits(), 1);
+        let (rs, payload) = s.pop_retransmit().unwrap();
+        assert_eq!((rs, payload), (slot, 777));
+        assert_eq!(s.retransmitted, 1);
+        s.on_ack(slot);
+        assert_eq!(s.acked, 1);
+        assert_eq!(s.outstanding(), 0);
+    }
+
+    #[test]
+    fn stray_acks_counted_not_fatal() {
+        let mut s: SenderFlow<()> = SenderFlow::new(2);
+        s.on_ack(0);
+        s.on_ack(17);
+        assert_eq!(s.stray_acks, 2);
+        assert_eq!(s.acked, 0);
+    }
+
+    #[test]
+    fn ack_tracker_piggyback_prefers_oldest() {
+        let mut a = AckTracker::new();
+        for slot in 0..6 {
+            a.on_accept(NodeId(1), slot);
+        }
+        let p = a.take_piggy(NodeId(1));
+        assert_eq!(p.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(a.pending_for(NodeId(1)), 2);
+        assert_eq!(a.piggybacked, 4);
+        // No pending acks toward node 2.
+        assert!(a.take_piggy(NodeId(2)).is_empty());
+    }
+
+    #[test]
+    fn standalone_only_when_batch_reached() {
+        let mut a = AckTracker::new();
+        a.on_accept(NodeId(1), 0);
+        a.on_accept(NodeId(1), 1);
+        assert!(a.take_standalone(false).is_empty(), "below batch");
+        a.on_accept(NodeId(1), 2);
+        a.on_accept(NodeId(1), 3);
+        let out = a.take_standalone(false);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], (NodeId(1), vec![0, 1, 2, 3]));
+        assert_eq!(a.pending_total(), 0);
+    }
+
+    #[test]
+    fn force_flush_drains_everything_in_node_order() {
+        let mut a = AckTracker::new();
+        a.on_accept(NodeId(5), 50);
+        a.on_accept(NodeId(2), 20);
+        a.on_accept(NodeId(2), 21);
+        let out = a.take_standalone(true);
+        assert_eq!(
+            out,
+            vec![(NodeId(2), vec![20, 21]), (NodeId(5), vec![50])],
+            "deterministic node order, all drained"
+        );
+        assert_eq!(a.pending_total(), 0);
+    }
+
+    #[test]
+    fn big_backlog_splits_into_frame_sized_groups() {
+        let mut a = AckTracker::new();
+        for slot in 0..10 {
+            a.on_accept(NodeId(1), slot);
+        }
+        let out = a.take_standalone(true);
+        let sizes: Vec<usize> = out.iter().map(|(_, v)| v.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+        let all: Vec<u16> = out.into_iter().flat_map(|(_, v)| v).collect();
+        assert_eq!(all, (0..10).collect::<Vec<u16>>());
+    }
+}

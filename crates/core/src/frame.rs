@@ -1,0 +1,410 @@
+//! The FM wire frame: layout, encode, decode.
+//!
+//! One frame is one Myrinet packet. FM 1.0 chose a 128-byte frame payload
+//! (paper Section 5: 80–90% of achievable bandwidth with low latency, and a
+//! good fit for IP traffic); the header adds a fixed 24 bytes that count
+//! toward wire time but not payload ("message length refers to the payload",
+//! Section 4.1).
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     1  kind            (0 = Data, 1 = Return, 2 = Ack)
+//!      1     1  payload length  (0..=128)
+//!      2     2  src node id
+//!      4     2  dst node id
+//!      6     2  handler id
+//!      8     2  sender slot id  (reject-queue reservation index)
+//!     10     2  piggyback count (only low byte used)
+//!     12     4  sender sequence number (diagnostics / reassembly aid)
+//!     16     8  piggybacked ack slots (4 x u16, unused filled with 0)
+//!     24     N  payload
+//! ```
+//!
+//! Acknowledgements piggyback on data frames (up to [`PIGGY_MAX`] slots);
+//! standalone `Ack` frames carry their slots in the same piggyback area and
+//! have no payload.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use fm_myrinet::NodeId;
+use std::fmt;
+
+use crate::handler::HandlerId;
+
+/// Maximum FM frame payload: 32 words (paper Section 5).
+pub const FM_FRAME_PAYLOAD: usize = 128;
+
+/// Fixed wire header size.
+pub const FM_HEADER_BYTES: usize = 24;
+
+/// Maximum acknowledgements piggybacked on one frame.
+pub const PIGGY_MAX: usize = 4;
+
+/// Frame type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// An ordinary data frame carrying a handler id and payload.
+    Data = 0,
+    /// A data frame bounced back to its sender by a full receiver
+    /// (return-to-sender flow control). Carries the original payload so the
+    /// sender can retransmit without having kept a copy.
+    Return = 1,
+    /// A standalone acknowledgement (slots in the piggyback area).
+    Ack = 2,
+}
+
+/// Errors from [`WireFrame::decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Buffer shorter than the fixed header.
+    Truncated { have: usize },
+    /// Unknown `kind` byte.
+    BadKind(u8),
+    /// Length field exceeds [`FM_FRAME_PAYLOAD`].
+    BadLength(u8),
+    /// Piggyback count exceeds [`PIGGY_MAX`].
+    BadPiggyCount(u8),
+    /// Buffer shorter than header + declared payload.
+    PayloadTruncated { want: usize, have: usize },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { have } => write!(f, "frame truncated: {have} bytes"),
+            CodecError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            CodecError::BadLength(l) => write!(f, "payload length {l} > 128"),
+            CodecError::BadPiggyCount(c) => write!(f, "piggyback count {c} > 4"),
+            CodecError::PayloadTruncated { want, have } => {
+                write!(f, "payload truncated: want {want}, have {have}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// One FM frame as it travels the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFrame {
+    pub kind: FrameKind,
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub handler: HandlerId,
+    /// The sender's reject-queue slot this frame occupies until acked.
+    pub slot: u16,
+    /// Per-sender sequence number (monotonic; diagnostics only — FM does
+    /// not guarantee ordering).
+    pub seq: u32,
+    /// Piggybacked acknowledgement slots (acks for frames *we* received
+    /// from `dst`).
+    pub piggy: PiggyAcks,
+    pub payload: Bytes,
+}
+
+/// A small inline set of piggybacked ack slot ids (max [`PIGGY_MAX`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PiggyAcks {
+    slots: [u16; PIGGY_MAX],
+    len: u8,
+}
+
+impl PiggyAcks {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn from_slice(s: &[u16]) -> Self {
+        assert!(s.len() <= PIGGY_MAX, "too many piggybacked acks");
+        let mut p = PiggyAcks::default();
+        p.slots[..s.len()].copy_from_slice(s);
+        p.len = s.len() as u8;
+        p
+    }
+
+    pub fn push(&mut self, slot: u16) -> bool {
+        if (self.len as usize) < PIGGY_MAX {
+            self.slots[self.len as usize] = slot;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn as_slice(&self) -> &[u16] {
+        &self.slots[..self.len as usize]
+    }
+}
+
+impl WireFrame {
+    /// A data frame.
+    pub fn data(
+        src: NodeId,
+        dst: NodeId,
+        handler: HandlerId,
+        slot: u16,
+        seq: u32,
+        payload: Bytes,
+    ) -> Self {
+        assert!(
+            payload.len() <= FM_FRAME_PAYLOAD,
+            "FM frame payload limited to {FM_FRAME_PAYLOAD} bytes (got {})",
+            payload.len()
+        );
+        WireFrame {
+            kind: FrameKind::Data,
+            src,
+            dst,
+            handler,
+            slot,
+            seq,
+            piggy: PiggyAcks::new(),
+            payload,
+        }
+    }
+
+    /// A standalone acknowledgement frame from `src` to `dst` covering the
+    /// given sender slots.
+    pub fn ack(src: NodeId, dst: NodeId, slots: &[u16]) -> Self {
+        WireFrame {
+            kind: FrameKind::Ack,
+            src,
+            dst,
+            handler: HandlerId(0),
+            slot: 0,
+            seq: 0,
+            piggy: PiggyAcks::from_slice(slots),
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Convert a received data frame into its bounced (return-to-sender)
+    /// form: same payload and slot, direction reversed.
+    pub fn into_return(mut self) -> Self {
+        debug_assert_eq!(self.kind, FrameKind::Data);
+        self.kind = FrameKind::Return;
+        std::mem::swap(&mut self.src, &mut self.dst);
+        self.piggy = PiggyAcks::new();
+        self
+    }
+
+    /// Convert a bounced frame back into a data frame for retransmission.
+    pub fn into_retransmit(mut self) -> Self {
+        debug_assert_eq!(self.kind, FrameKind::Return);
+        self.kind = FrameKind::Data;
+        std::mem::swap(&mut self.src, &mut self.dst);
+        self
+    }
+
+    /// Total bytes this frame occupies on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        FM_HEADER_BYTES + self.payload.len()
+    }
+
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(self.wire_bytes());
+        b.put_u8(self.kind as u8);
+        b.put_u8(self.payload.len() as u8);
+        b.put_u16_le(self.src.0);
+        b.put_u16_le(self.dst.0);
+        b.put_u16_le(self.handler.0);
+        b.put_u16_le(self.slot);
+        b.put_u16_le(self.piggy.len() as u16);
+        b.put_u32_le(self.seq);
+        for i in 0..PIGGY_MAX {
+            b.put_u16_le(*self.piggy.slots.get(i).unwrap_or(&0));
+        }
+        b.extend_from_slice(&self.payload);
+        debug_assert_eq!(b.len(), self.wire_bytes());
+        b.freeze()
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(buf: &Bytes) -> Result<Self, CodecError> {
+        if buf.len() < FM_HEADER_BYTES {
+            return Err(CodecError::Truncated { have: buf.len() });
+        }
+        let kind = match buf[0] {
+            0 => FrameKind::Data,
+            1 => FrameKind::Return,
+            2 => FrameKind::Ack,
+            k => return Err(CodecError::BadKind(k)),
+        };
+        let len = buf[1];
+        if len as usize > FM_FRAME_PAYLOAD {
+            return Err(CodecError::BadLength(len));
+        }
+        let rd16 = |o: usize| u16::from_le_bytes([buf[o], buf[o + 1]]);
+        let piggy_count = rd16(10);
+        if piggy_count as usize > PIGGY_MAX {
+            return Err(CodecError::BadPiggyCount(piggy_count as u8));
+        }
+        let want = FM_HEADER_BYTES + len as usize;
+        if buf.len() < want {
+            return Err(CodecError::PayloadTruncated {
+                want,
+                have: buf.len(),
+            });
+        }
+        let mut piggy = PiggyAcks::new();
+        for i in 0..piggy_count as usize {
+            piggy.push(rd16(16 + 2 * i));
+        }
+        Ok(WireFrame {
+            kind,
+            src: NodeId(rd16(2)),
+            dst: NodeId(rd16(4)),
+            handler: HandlerId(rd16(6)),
+            slot: rd16(8),
+            seq: u32::from_le_bytes([buf[12], buf[13], buf[14], buf[15]]),
+            piggy,
+            payload: buf.slice(FM_HEADER_BYTES..want),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WireFrame {
+        let mut f = WireFrame::data(
+            NodeId(3),
+            NodeId(7),
+            HandlerId(42),
+            19,
+            0xDEAD_BEEF,
+            Bytes::from_static(b"hello fm"),
+        );
+        f.piggy.push(5);
+        f.piggy.push(1000);
+        f
+    }
+
+    #[test]
+    fn roundtrip_data_frame() {
+        let f = sample();
+        let enc = f.encode();
+        assert_eq!(enc.len(), FM_HEADER_BYTES + 8);
+        let d = WireFrame::decode(&enc).unwrap();
+        assert_eq!(d, f);
+    }
+
+    #[test]
+    fn roundtrip_ack_frame() {
+        let f = WireFrame::ack(NodeId(1), NodeId(0), &[7, 8, 9]);
+        let d = WireFrame::decode(&f.encode()).unwrap();
+        assert_eq!(d, f);
+        assert_eq!(d.piggy.as_slice(), &[7, 8, 9]);
+        assert!(d.payload.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_empty_payload() {
+        let f = WireFrame::data(NodeId(0), NodeId(1), HandlerId(0), 0, 0, Bytes::new());
+        assert_eq!(f.wire_bytes(), FM_HEADER_BYTES);
+        assert_eq!(WireFrame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn roundtrip_max_payload() {
+        let f = WireFrame::data(
+            NodeId(0),
+            NodeId(1),
+            HandlerId(9),
+            1,
+            2,
+            Bytes::from(vec![0xAB; FM_FRAME_PAYLOAD]),
+        );
+        assert_eq!(WireFrame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to")]
+    fn oversized_payload_panics() {
+        WireFrame::data(
+            NodeId(0),
+            NodeId(1),
+            HandlerId(0),
+            0,
+            0,
+            Bytes::from(vec![0; FM_FRAME_PAYLOAD + 1]),
+        );
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(matches!(
+            WireFrame::decode(&Bytes::from_static(b"xx")),
+            Err(CodecError::Truncated { have: 2 })
+        ));
+        let mut bad = sample().encode().to_vec();
+        bad[0] = 9;
+        assert!(matches!(
+            WireFrame::decode(&Bytes::from(bad)),
+            Err(CodecError::BadKind(9))
+        ));
+        let mut bad = sample().encode().to_vec();
+        bad[1] = 200;
+        assert!(matches!(
+            WireFrame::decode(&Bytes::from(bad)),
+            Err(CodecError::BadLength(200))
+        ));
+        let mut bad = sample().encode().to_vec();
+        bad[10] = 5;
+        assert!(matches!(
+            WireFrame::decode(&Bytes::from(bad)),
+            Err(CodecError::BadPiggyCount(5))
+        ));
+        let good = sample().encode();
+        let short = good.slice(..good.len() - 1);
+        assert!(matches!(
+            WireFrame::decode(&short),
+            Err(CodecError::PayloadTruncated { .. })
+        ));
+    }
+
+    #[test]
+    fn return_and_retransmit_are_inverses() {
+        let f = sample();
+        let bounced = f.clone().into_return();
+        assert_eq!(bounced.kind, FrameKind::Return);
+        assert_eq!(bounced.src, f.dst);
+        assert_eq!(bounced.dst, f.src);
+        assert_eq!(bounced.payload, f.payload);
+        assert!(bounced.piggy.is_empty(), "bounce drops piggybacked acks");
+        let retx = bounced.into_retransmit();
+        assert_eq!(retx.kind, FrameKind::Data);
+        assert_eq!(retx.src, f.src);
+        assert_eq!(retx.dst, f.dst);
+        assert_eq!(retx.slot, f.slot);
+    }
+
+    #[test]
+    fn piggy_acks_bounded() {
+        let mut p = PiggyAcks::new();
+        for i in 0..PIGGY_MAX as u16 {
+            assert!(p.push(i));
+        }
+        assert!(!p.push(99), "fifth ack must be refused");
+        assert_eq!(p.len(), PIGGY_MAX);
+        assert_eq!(p.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn wire_bytes_includes_header() {
+        let f = sample();
+        assert_eq!(f.wire_bytes(), 24 + 8);
+    }
+}

@@ -1,0 +1,70 @@
+//! # fm-core — Illinois Fast Messages (FM) 1.0
+//!
+//! The messaging layer the paper contributes, implemented as a real Rust
+//! library. FM's interface is deliberately tiny (paper Table 1):
+//!
+//! | Call | Meaning |
+//! |---|---|
+//! | `FM_send_4(dest, handler, i0..i3)` | send a four-word message |
+//! | `FM_send(dest, handler, buf, size)` | send a message of up to 32 words (128 B) |
+//! | `FM_extract()` | dequeue and process received messages |
+//!
+//! Each message carries a **handler** — a sender-specified function id that
+//! consumes the data at the destination, like Active Messages but with no
+//! request/reply coupling. Message buffers do not persist past the handler's
+//! return.
+//!
+//! Under the interface sit the paper's two protocol mechanisms:
+//!
+//! * **four-queue buffer management** ([`queues`]) — LANai send queue,
+//!   LANai receive queue, host receive queue, host reject queue,
+//!   coordinated with a pair of monotonic counters (`hostsent` /
+//!   `lanaisent`) so host and coprocessor each own one counter and
+//!   synchronization stays minimal (Section 4.4);
+//! * **return-to-sender flow control** ([`flow`]) — senders transmit
+//!   optimistically while reserving a local reject-queue slot per
+//!   outstanding packet; a full receiver bounces packets back to their
+//!   source, which retransmits them later. Buffering grows with a node's
+//!   *outstanding* packets, not with cluster size (Section 4.5). Delivery is
+//!   guaranteed, ordering is not (Table 3).
+//!
+//! The protocol logic is pure state machinery ([`endpoint::EndpointCore`])
+//! with no I/O or clock, so the same code runs in two harnesses:
+//!
+//! * [`mem`] — a real runtime across OS threads over in-memory channels
+//!   (bytes actually move, handlers actually run); this is what the examples
+//!   and most tests use;
+//! * `fm-testbed` — the calibrated discrete-event simulation that
+//!   regenerates the paper's figures, which reuses [`flow`] for its window
+//!   accounting.
+//!
+//! Messages larger than one frame are *not* part of FM 1.0 — the paper
+//! (Section 5) prescribes segmentation and reassembly above the layer. The
+//! [`seg`] module implements that prescription as a documented extension
+//! used by `fm-mpi` and the examples, and [`stream`] builds ordered byte
+//! streams (the paper's TCP-over-FM direction) on top of it.
+
+pub mod context;
+pub mod endpoint;
+pub mod flow;
+pub mod frame;
+pub mod handler;
+pub mod mem;
+pub mod queues;
+pub mod seg;
+pub mod stream;
+
+pub use endpoint::{EndpointCore, EndpointStats, SendError};
+pub use frame::{FrameKind, WireFrame, FM_FRAME_PAYLOAD, FM_HEADER_BYTES};
+pub use handler::{Handler, HandlerId, HandlerRegistry, Outbox};
+pub use mem::{MemCluster, MemEndpoint};
+
+// FM addresses nodes with the same ids the network does.
+pub use fm_myrinet::NodeId;
+
+/// Words in an `FM_send_4` message.
+pub const FM_SHORT_WORDS: usize = 4;
+
+/// Maximum words in an `FM_send` message (32 words = 128 bytes, the frame
+/// size the paper selects in Section 5).
+pub const FM_MAX_WORDS: usize = 32;

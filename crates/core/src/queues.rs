@@ -1,0 +1,424 @@
+//! The four queues of FM 1.0 (paper Figure 6) and their counter-based
+//! coordination (Section 4.4).
+//!
+//! * **LANai send queue** — host writes packets straight into LANai SRAM and
+//!   bumps `hostsent`; the LANai drains to the network and bumps
+//!   `lanaisent`. "Allowing each to own (and keep in a register) its
+//!   respective counter reduces the amount of synchronization" — modeled by
+//!   [`CounterPair`]: each side only ever *writes* its own counter.
+//! * **LANai receive queue** — filled by the incoming-channel DMA, drained
+//!   (aggregated) to the host by the host DMA. Same counter discipline.
+//! * **host receive queue** — the pinned DMA region ring the host polls in
+//!   `FM_extract`.
+//! * **host reject queue** — sender-side slots reserved for outstanding
+//!   packets; bounced packets land here awaiting retransmission
+//!   ([`RejectQueue`]).
+
+use std::collections::VecDeque;
+
+/// The `hostsent`/`lanaisent` coordination counters: two monotonically
+/// increasing `u64`s, one owned by each side. Occupancy is their
+/// difference; the producer refuses to advance past `depth`.
+///
+/// (The 1995 code used 32-bit counters with wraparound-safe comparison; we
+/// use u64 — at one packet per 25 µs it would take 14 million years to
+/// wrap, and the arithmetic stays transparently correct.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterPair {
+    /// Total packets the producer has made available.
+    pub produced: u64,
+    /// Total packets the consumer has retired.
+    pub consumed: u64,
+    depth: u64,
+}
+
+impl CounterPair {
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "queue depth must be positive");
+        CounterPair {
+            produced: 0,
+            consumed: 0,
+            depth: depth as u64,
+        }
+    }
+
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.depth as usize
+    }
+
+    /// Packets currently in the queue. Invariant: `0 <= occupancy <= depth`.
+    #[inline]
+    pub fn occupancy(&self) -> u64 {
+        debug_assert!(self.consumed <= self.produced);
+        self.produced - self.consumed
+    }
+
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.occupancy() == self.depth
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.occupancy() == 0
+    }
+
+    /// Producer side: advance `produced` if there is space.
+    #[inline]
+    pub fn try_produce(&mut self) -> bool {
+        if self.is_full() {
+            false
+        } else {
+            self.produced += 1;
+            true
+        }
+    }
+
+    /// Consumer side: advance `consumed` if anything is pending.
+    #[inline]
+    pub fn try_consume(&mut self) -> bool {
+        if self.is_empty() {
+            false
+        } else {
+            self.consumed += 1;
+            true
+        }
+    }
+
+    /// Ring index the next produced item goes to.
+    #[inline]
+    pub fn produce_index(&self) -> usize {
+        (self.produced % self.depth) as usize
+    }
+
+    /// Ring index of the next item to consume.
+    #[inline]
+    pub fn consume_index(&self) -> usize {
+        (self.consumed % self.depth) as usize
+    }
+}
+
+/// A bounded single-producer/single-consumer ring coordinated by a
+/// [`CounterPair`]. Used for the LANai send queue, LANai receive queue and
+/// host receive queue.
+#[derive(Debug, Clone)]
+pub struct PacketRing<T> {
+    slots: Vec<Option<T>>,
+    counters: CounterPair,
+    high_water: u64,
+}
+
+impl<T> PacketRing<T> {
+    pub fn new(depth: usize) -> Self {
+        PacketRing {
+            slots: (0..depth).map(|_| None).collect(),
+            counters: CounterPair::new(depth),
+            high_water: 0,
+        }
+    }
+
+    pub fn depth(&self) -> usize {
+        self.counters.depth()
+    }
+
+    pub fn len(&self) -> usize {
+        self.counters.occupancy() as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.counters.is_full()
+    }
+
+    /// Peak occupancy observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water as usize
+    }
+
+    pub fn counters(&self) -> CounterPair {
+        self.counters
+    }
+
+    /// Producer: enqueue, failing (and returning the item) when full.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.counters.is_full() {
+            return Err(item);
+        }
+        let idx = self.counters.produce_index();
+        debug_assert!(self.slots[idx].is_none(), "ring slot still occupied");
+        self.slots[idx] = Some(item);
+        let ok = self.counters.try_produce();
+        debug_assert!(ok);
+        self.high_water = self.high_water.max(self.counters.occupancy());
+        Ok(())
+    }
+
+    /// Consumer: dequeue the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.counters.is_empty() {
+            return None;
+        }
+        let idx = self.counters.consume_index();
+        let item = self.slots[idx].take();
+        debug_assert!(item.is_some(), "ring slot unexpectedly empty");
+        let ok = self.counters.try_consume();
+        debug_assert!(ok);
+        item
+    }
+
+    /// Peek the oldest item without consuming.
+    pub fn peek(&self) -> Option<&T> {
+        if self.counters.is_empty() {
+            None
+        } else {
+            self.slots[self.counters.consume_index()].as_ref()
+        }
+    }
+}
+
+/// State of one reject-queue slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SlotState<T> {
+    Free,
+    /// Packet sent, neither acked nor returned yet. The slot reservation
+    /// *is* the deadlock-avoidance buffer: if the packet bounces, this slot
+    /// is guaranteed to have room for it.
+    InFlight,
+    /// Packet bounced back; payload parked here awaiting retransmission.
+    Returned(T),
+}
+
+/// The host reject queue: a slot table whose capacity bounds the node's
+/// outstanding (unacknowledged) packets.
+///
+/// "Because each sender's buffering requirements are proportional to the
+/// number of outstanding packets, there is no large collection of buffers
+/// that must be statically allocated" (Section 4.5) — capacity here is per
+/// *node*, independent of cluster size, and the property tests in
+/// `fm-core/tests` verify that memory stays bounded under overload.
+#[derive(Debug, Clone)]
+pub struct RejectQueue<T> {
+    slots: Vec<SlotState<T>>,
+    free: Vec<u16>,
+    /// Returned slots in bounce order, awaiting retransmission.
+    returned_fifo: VecDeque<u16>,
+    in_flight: usize,
+}
+
+impl<T> RejectQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0 && capacity <= u16::MAX as usize);
+        RejectQueue {
+            slots: (0..capacity).map(|_| SlotState::Free).collect(),
+            free: (0..capacity as u16).rev().collect(),
+            returned_fifo: VecDeque::new(),
+            in_flight: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Outstanding packets (in flight + returned-awaiting-retransmit).
+    pub fn outstanding(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Packets parked after a bounce.
+    pub fn returned(&self) -> usize {
+        self.returned_fifo.len()
+    }
+
+    pub fn has_space(&self) -> bool {
+        !self.free.is_empty()
+    }
+
+    /// Reserve a slot for a new outgoing packet. `None` when the window is
+    /// exhausted (the caller must extract/ack before sending more).
+    pub fn reserve(&mut self) -> Option<u16> {
+        let slot = self.free.pop()?;
+        debug_assert!(matches!(self.slots[slot as usize], SlotState::Free));
+        self.slots[slot as usize] = SlotState::InFlight;
+        self.in_flight += 1;
+        Some(slot)
+    }
+
+    /// An acknowledgement arrived for `slot`: release it. Returns false for
+    /// a slot that was not in flight (a protocol error by the peer —
+    /// tolerated, counted by the caller).
+    pub fn ack(&mut self, slot: u16) -> bool {
+        match self.slots.get_mut(slot as usize) {
+            Some(s @ SlotState::InFlight) => {
+                *s = SlotState::Free;
+                self.free.push(slot);
+                self.in_flight -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The packet in `slot` bounced back: park its payload for
+    /// retransmission. Returns false if the slot was not in flight.
+    pub fn bounce(&mut self, slot: u16, payload: T) -> bool {
+        match self.slots.get_mut(slot as usize) {
+            Some(s @ SlotState::InFlight) => {
+                *s = SlotState::Returned(payload);
+                self.returned_fifo.push_back(slot);
+                self.in_flight -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Take the oldest returned packet for retransmission; its slot stays
+    /// reserved (the retransmitted packet is still outstanding).
+    pub fn pop_retransmit(&mut self) -> Option<(u16, T)> {
+        let slot = self.returned_fifo.pop_front()?;
+        let state = std::mem::replace(&mut self.slots[slot as usize], SlotState::InFlight);
+        match state {
+            SlotState::Returned(t) => {
+                self.in_flight += 1;
+                Some((slot, t))
+            }
+            other => {
+                // Restore and fail loudly in debug: the FIFO and table
+                // disagree, which indicates a bug in this module.
+                self.slots[slot as usize] = other;
+                debug_assert!(false, "returned_fifo referenced a non-returned slot");
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_pair_invariant() {
+        let mut c = CounterPair::new(3);
+        assert!(c.is_empty());
+        assert!(c.try_produce());
+        assert!(c.try_produce());
+        assert!(c.try_produce());
+        assert!(c.is_full());
+        assert!(!c.try_produce(), "producer must refuse when full");
+        assert_eq!(c.occupancy(), 3);
+        assert!(c.try_consume());
+        assert_eq!(c.occupancy(), 2);
+        assert!(c.try_produce());
+        assert_eq!(c.produced, 4);
+        assert_eq!(c.consumed, 1);
+    }
+
+    #[test]
+    fn counter_pair_indices_wrap() {
+        let mut c = CounterPair::new(4);
+        for i in 0..4 {
+            assert_eq!(c.produce_index(), i);
+            c.try_produce();
+        }
+        c.try_consume();
+        assert_eq!(c.consume_index(), 1);
+        c.try_produce();
+        assert_eq!(c.produce_index(), 1);
+    }
+
+    #[test]
+    fn ring_fifo_order() {
+        let mut r = PacketRing::new(3);
+        r.push(1).unwrap();
+        r.push(2).unwrap();
+        assert_eq!(r.peek(), Some(&1));
+        assert_eq!(r.pop(), Some(1));
+        r.push(3).unwrap();
+        r.push(4).unwrap();
+        assert!(r.is_full());
+        assert_eq!(r.push(5), Err(5));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(4));
+        assert_eq!(r.pop(), None);
+        assert_eq!(r.high_water(), 3);
+    }
+
+    #[test]
+    fn ring_long_run_wraps_cleanly() {
+        let mut r = PacketRing::new(5);
+        let mut next_in = 0u64;
+        let mut next_out = 0u64;
+        for step in 0..1_000 {
+            if step % 3 != 0 {
+                if r.push(next_in).is_ok() {
+                    next_in += 1;
+                }
+            } else if let Some(v) = r.pop() {
+                assert_eq!(v, next_out, "FIFO violated");
+                next_out += 1;
+            }
+        }
+        while let Some(v) = r.pop() {
+            assert_eq!(v, next_out);
+            next_out += 1;
+        }
+        assert_eq!(next_in, next_out);
+    }
+
+    #[test]
+    fn reject_queue_reserve_ack_cycle() {
+        let mut q: RejectQueue<&str> = RejectQueue::new(2);
+        let a = q.reserve().unwrap();
+        let b = q.reserve().unwrap();
+        assert_ne!(a, b);
+        assert!(q.reserve().is_none(), "window exhausted");
+        assert_eq!(q.outstanding(), 2);
+        assert!(q.ack(a));
+        assert!(!q.ack(a), "double ack refused");
+        assert_eq!(q.outstanding(), 1);
+        assert!(q.reserve().is_some());
+    }
+
+    #[test]
+    fn reject_queue_bounce_and_retransmit() {
+        let mut q: RejectQueue<&str> = RejectQueue::new(3);
+        let a = q.reserve().unwrap();
+        let b = q.reserve().unwrap();
+        assert!(q.bounce(a, "pkt-a"));
+        assert!(q.bounce(b, "pkt-b"));
+        assert_eq!(q.in_flight(), 0);
+        assert_eq!(q.returned(), 2);
+        // Retransmission order is bounce order.
+        let (s1, p1) = q.pop_retransmit().unwrap();
+        assert_eq!((s1, p1), (a, "pkt-a"));
+        assert_eq!(q.in_flight(), 1);
+        // Slot stays outstanding until acked.
+        assert_eq!(q.outstanding(), 2);
+        assert!(q.ack(a));
+        let (s2, _) = q.pop_retransmit().unwrap();
+        assert_eq!(s2, b);
+        assert!(q.pop_retransmit().is_none());
+    }
+
+    #[test]
+    fn reject_queue_rejects_bad_slots() {
+        let mut q: RejectQueue<()> = RejectQueue::new(2);
+        assert!(!q.ack(0), "slot never reserved");
+        assert!(!q.bounce(7, ()), "slot out of range");
+        let a = q.reserve().unwrap();
+        assert!(q.bounce(a, ()));
+        assert!(!q.bounce(a, ()), "double bounce refused");
+        assert!(!q.ack(a), "ack of a returned slot refused (not in flight)");
+    }
+}

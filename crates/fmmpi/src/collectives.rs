@@ -1,0 +1,355 @@
+//! Collective operations over [`Communicator`]: barrier, broadcast,
+//! reduce, allreduce, gather, scatter, alltoall.
+//!
+//! Algorithms are the textbook log-depth ones MPI implementations of the
+//! era used (the paper cites the IBM SP MPI environment as the comparison
+//! point for an eventual FM-MPI):
+//!
+//! * **barrier** — dissemination: round `k` sends to `(rank + 2^k) % size`
+//!   and waits for `(rank - 2^k) % size`; `ceil(log2(size))` rounds;
+//! * **bcast / reduce** — binomial trees rooted at `root`;
+//! * **allreduce** — reduce to rank 0 then broadcast (simple and correct;
+//!   recursive-doubling is a possible optimization);
+//! * **gather / scatter / alltoall** — direct exchanges.
+//!
+//! Each collective uses a reserved tag derived from a per-communicator
+//! epoch counter, so back-to-back collectives never cross-match.
+
+use crate::comm::{Communicator, ReduceOp};
+use crate::{Rank, Tag};
+
+/// Internal tag spaces (all >= [`Tag::RESERVED`]).
+const TAG_BARRIER: u32 = Tag::RESERVED;
+const TAG_BCAST: u32 = Tag::RESERVED + 0x1000;
+const TAG_REDUCE: u32 = Tag::RESERVED + 0x2000;
+const TAG_GATHER: u32 = Tag::RESERVED + 0x3000;
+const TAG_SCATTER: u32 = Tag::RESERVED + 0x4000;
+const TAG_ALLTOALL: u32 = Tag::RESERVED + 0x5000;
+
+fn f64s_to_bytes(xs: &[f64]) -> Vec<u8> {
+    xs.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+fn bytes_to_f64s(b: &[u8]) -> Vec<f64> {
+    assert_eq!(b.len() % 8, 0, "reduce payload must be f64-aligned");
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect()
+}
+
+impl Communicator {
+    /// Dissemination barrier: returns when every rank has entered.
+    pub fn barrier(&mut self) {
+        let size = self.size() as u32;
+        if size == 1 {
+            return;
+        }
+        let me = self.rank() as u32;
+        // Rounds share the barrier tag space; FM-MPI per-pair FIFO plus
+        // the distinct partner per round make rounds unambiguous.
+        let mut k = 0u32;
+        let mut dist = 1u32;
+        while dist < size {
+            let to = ((me + dist) % size) as Rank;
+            let from = ((me + size - dist) % size) as Rank;
+            let tag = Tag(TAG_BARRIER + k);
+            self.send_reserved(to, tag, &[]);
+            let _ = self.recv_reserved(from, tag);
+            dist *= 2;
+            k += 1;
+        }
+    }
+
+    /// Broadcast `data` from `root`; every rank returns the root's bytes.
+    pub fn bcast(&mut self, root: Rank, data: &[u8]) -> Vec<u8> {
+        let size = self.size() as u32;
+        if size == 1 {
+            return data.to_vec();
+        }
+        let me = self.rank() as u32;
+        // Virtual rank with the root mapped to 0.
+        let vrank = (me + size - root as u32) % size;
+        let tag = Tag(TAG_BCAST);
+        let buf = if vrank == 0 {
+            data.to_vec()
+        } else {
+            // Receive from the parent: clear the lowest set bit.
+            let parent_v = vrank & (vrank - 1);
+            let parent = ((parent_v + root as u32) % size) as Rank;
+            self.recv_reserved(parent, tag)
+        };
+        // Forward to children: set bits above the lowest set bit.
+        let lowest = if vrank == 0 {
+            size.next_power_of_two()
+        } else {
+            vrank & vrank.wrapping_neg()
+        };
+        let mut bit = 1u32;
+        while bit < lowest && bit < size {
+            let child_v = vrank | bit;
+            if child_v != vrank && child_v < size {
+                let child = ((child_v + root as u32) % size) as Rank;
+                self.send_reserved(child, tag, &buf);
+            }
+            bit <<= 1;
+        }
+        buf
+    }
+
+    /// Element-wise reduction of `data` across all ranks; `root` returns
+    /// `Some(result)`, everyone else `None`.
+    pub fn reduce(&mut self, root: Rank, data: &[f64], op: ReduceOp) -> Option<Vec<f64>> {
+        let size = self.size() as u32;
+        let me = self.rank() as u32;
+        let vrank = (me + size - root as u32) % size;
+        let tag = Tag(TAG_REDUCE);
+        let mut acc = data.to_vec();
+        // Binomial tree, leaves first: at round `bit`, ranks with that bit
+        // set send to their parent and exit; others receive and merge.
+        let mut bit = 1u32;
+        while bit < size {
+            if vrank & bit != 0 {
+                let parent_v = vrank & !bit;
+                let parent = ((parent_v + root as u32) % size) as Rank;
+                self.send_reserved(parent, tag, &f64s_to_bytes(&acc));
+                return None;
+            }
+            let child_v = vrank | bit;
+            if child_v < size {
+                let child = ((child_v + root as u32) % size) as Rank;
+                let theirs = bytes_to_f64s(&self.recv_reserved(child, tag));
+                assert_eq!(
+                    theirs.len(),
+                    acc.len(),
+                    "reduce called with mismatched lengths across ranks"
+                );
+                for (a, b) in acc.iter_mut().zip(theirs) {
+                    *a = op.apply(*a, b);
+                }
+            }
+            bit <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// Reduction delivered to every rank (reduce to rank 0 + broadcast).
+    pub fn allreduce(&mut self, data: &[f64], op: ReduceOp) -> Vec<f64> {
+        let result = self.reduce(0, data, op);
+        let bytes = self.bcast(0, &f64s_to_bytes(result.as_deref().unwrap_or(&[])));
+        bytes_to_f64s(&bytes)
+    }
+
+    /// Gather every rank's bytes at `root` (rank order). `root` gets
+    /// `Some(vec_of_contributions)`.
+    pub fn gather(&mut self, root: Rank, data: &[u8]) -> Option<Vec<Vec<u8>>> {
+        let tag = Tag(TAG_GATHER);
+        if self.rank() != root {
+            self.send_reserved(root, tag, data);
+            return None;
+        }
+        let mut out = vec![Vec::new(); self.size()];
+        out[root as usize] = data.to_vec();
+        for r in 0..self.size() as Rank {
+            if r != root {
+                out[r as usize] = self.recv_reserved(r, tag);
+            }
+        }
+        Some(out)
+    }
+
+    /// Scatter one chunk per rank from `root`; returns this rank's chunk.
+    /// `chunks` is only read at the root and must have `size` entries.
+    pub fn scatter(&mut self, root: Rank, chunks: Option<&[Vec<u8>]>) -> Vec<u8> {
+        let tag = Tag(TAG_SCATTER);
+        if self.rank() == root {
+            let chunks = chunks.expect("root must supply chunks");
+            assert_eq!(chunks.len(), self.size(), "one chunk per rank");
+            for r in 0..self.size() as Rank {
+                if r != root {
+                    self.send_reserved(r, tag, &chunks[r as usize]);
+                }
+            }
+            chunks[root as usize].clone()
+        } else {
+            self.recv_reserved(root, tag)
+        }
+    }
+
+    /// Personalized all-to-all: `chunks[r]` goes to rank `r`; returns what
+    /// every rank sent to us, in rank order.
+    pub fn alltoall(&mut self, chunks: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        assert_eq!(chunks.len(), self.size(), "one chunk per rank");
+        let tag = Tag(TAG_ALLTOALL);
+        let me = self.rank();
+        let mut out = vec![Vec::new(); self.size()];
+        out[me as usize] = chunks[me as usize].clone();
+        // Send everything, then receive everything; FM's windows plus the
+        // blocking-send service loop keep this deadlock-free.
+        for r in 0..self.size() as Rank {
+            if r != me {
+                self.send_reserved(r, tag, &chunks[r as usize]);
+            }
+        }
+        for r in 0..self.size() as Rank {
+            if r != me {
+                out[r as usize] = self.recv_reserved(r, tag);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{MpiCluster, ReduceOp, Tag};
+
+    /// Run `f` on every rank of an `n`-rank cluster, collecting results.
+    fn run_ranks<T: Send + 'static>(
+        n: usize,
+        f: impl Fn(&mut crate::Communicator) -> T + Send + Sync + Clone + 'static,
+    ) -> Vec<T> {
+        let comms = MpiCluster::new(n);
+        let mut handles = Vec::new();
+        for mut c in comms {
+            let f = f.clone();
+            handles.push(std::thread::spawn(move || {
+                let out = f(&mut c);
+                // Give trailing acks a chance to drain.
+                for _ in 0..5 {
+                    c.progress();
+                    std::thread::yield_now();
+                }
+                (c.rank(), out)
+            }));
+        }
+        let mut results: Vec<(u16, T)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        results.sort_by_key(|(r, _)| *r);
+        results.into_iter().map(|(_, t)| t).collect()
+    }
+
+    #[test]
+    fn barrier_various_sizes() {
+        for n in [2usize, 3, 4, 7] {
+            let out = run_ranks(n, |c| {
+                for _ in 0..3 {
+                    c.barrier();
+                }
+                true
+            });
+            assert_eq!(out.len(), n);
+        }
+    }
+
+    #[test]
+    fn bcast_from_every_root() {
+        for n in [2usize, 3, 5, 8] {
+            for root in 0..n as u16 {
+                let out = run_ranks(n, move |c| {
+                    let data = if c.rank() == root {
+                        vec![root as u8; 100]
+                    } else {
+                        vec![]
+                    };
+                    c.bcast(root, &data)
+                });
+                for got in out {
+                    assert_eq!(got, vec![root as u8; 100], "n={n} root={root}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sum_is_exact() {
+        for n in [2usize, 4, 6] {
+            let out = run_ranks(n, move |c| {
+                let mine = vec![c.rank() as f64 + 1.0, 10.0];
+                c.reduce(0, &mine, ReduceOp::Sum)
+            });
+            let expect_first = (1..=n).sum::<usize>() as f64;
+            assert_eq!(out[0], Some(vec![expect_first, 10.0 * n as f64]));
+            for r in &out[1..] {
+                assert!(r.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_min_max() {
+        let out = run_ranks(5, |c| {
+            let mine = vec![c.rank() as f64];
+            (
+                c.allreduce(&mine, ReduceOp::Min),
+                c.allreduce(&mine, ReduceOp::Max),
+            )
+        });
+        for (min, max) in out {
+            assert_eq!(min, vec![0.0]);
+            assert_eq!(max, vec![4.0]);
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = run_ranks(4, |c| c.gather(2, &[c.rank() as u8 * 3]));
+        for (r, g) in out.iter().enumerate() {
+            if r == 2 {
+                let got = g.as_ref().expect("root result");
+                assert_eq!(got, &vec![vec![0], vec![3], vec![6], vec![9]]);
+            } else {
+                assert!(g.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_distributes_chunks() {
+        let out = run_ranks(3, |c| {
+            let chunks: Option<Vec<Vec<u8>>> = if c.rank() == 0 {
+                Some((0..3).map(|r| vec![r as u8; r + 1]).collect())
+            } else {
+                None
+            };
+            c.scatter(0, chunks.as_deref())
+        });
+        assert_eq!(out, vec![vec![0], vec![1, 1], vec![2, 2, 2]]);
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        let n = 4usize;
+        let out = run_ranks(n, move |c| {
+            let me = c.rank() as u8;
+            let chunks: Vec<Vec<u8>> = (0..n as u8).map(|r| vec![me, r]).collect();
+            c.alltoall(&chunks)
+        });
+        for (me, row) in out.iter().enumerate() {
+            for (src, chunk) in row.iter().enumerate() {
+                assert_eq!(chunk, &vec![src as u8, me as u8]);
+            }
+        }
+    }
+
+    #[test]
+    fn collectives_compose_with_point_to_point() {
+        let out = run_ranks(3, |c| {
+            c.barrier();
+            if c.rank() == 0 {
+                c.send(1, Tag(1), b"x");
+            }
+            let got = if c.rank() == 1 {
+                Some(c.recv(Some(0), Some(Tag(1))).2)
+            } else {
+                None
+            };
+            c.barrier();
+            let sum = c.allreduce(&[1.0], ReduceOp::Sum);
+            (got, sum)
+        });
+        assert_eq!(out[1].0.as_deref(), Some(&b"x"[..]));
+        for (_, sum) in out {
+            assert_eq!(sum, vec![3.0]);
+        }
+    }
+}

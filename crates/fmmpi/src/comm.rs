@@ -1,0 +1,271 @@
+//! The communicator: ranks, blocking send/recv, and cluster construction.
+
+use fm_core::endpoint::EndpointConfig;
+use fm_core::mem::{MemCluster, MemEndpoint};
+use fm_core::NodeId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::matching::{Envelope, MatchQueue};
+use crate::{Rank, Tag};
+
+/// Reduction operators over `f64` vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Prod,
+    Min,
+    Max,
+}
+
+impl ReduceOp {
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Prod => a * b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+
+    /// The operator's identity element.
+    pub fn identity(self) -> f64 {
+        match self {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Prod => 1.0,
+            ReduceOp::Min => f64::INFINITY,
+            ReduceOp::Max => f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// Builds a set of communicators sharing one in-memory FM cluster.
+pub struct MpiCluster;
+
+impl MpiCluster {
+    /// `n` ranks with a generously sized FM window (collectives fan out).
+    pub fn new(n: usize) -> Vec<Communicator> {
+        Self::with_config(
+            n,
+            EndpointConfig {
+                window: 256,
+                recv_ring: 1024,
+                ..Default::default()
+            },
+        )
+    }
+
+    pub fn with_config(n: usize, config: EndpointConfig) -> Vec<Communicator> {
+        assert!(n >= 1);
+        MemCluster::with_config(n, config)
+            .into_iter()
+            .map(|ep| Communicator::new(ep, n))
+            .collect()
+    }
+}
+
+/// One rank's endpoint plus its MPI state. Move it into the rank's thread.
+pub struct Communicator {
+    ep: MemEndpoint,
+    size: usize,
+    inbox: Arc<Mutex<MatchQueue>>,
+    next_seq_to: HashMap<Rank, u32>,
+}
+
+impl Communicator {
+    fn new(mut ep: MemEndpoint, size: usize) -> Self {
+        let inbox: Arc<Mutex<MatchQueue>> = Arc::new(Mutex::new(MatchQueue::new()));
+        let sink = inbox.clone();
+        let h = ep.register_large_handler(move |_, _src, msg| {
+            if let Some(env) = Envelope::decode(&msg) {
+                sink.lock().push(env);
+            }
+        });
+        debug_assert_eq!(h.0, 0, "MPI message handler must be large-handler 0");
+        Communicator {
+            ep,
+            size,
+            inbox,
+            next_seq_to: HashMap::new(),
+        }
+    }
+
+    /// This process's rank.
+    pub fn rank(&self) -> Rank {
+        self.ep.node_id().0
+    }
+
+    /// Number of ranks in the cluster.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Blocking tagged send of arbitrary size.
+    pub fn send(&mut self, dest: Rank, tag: Tag, data: &[u8]) {
+        assert!((dest as usize) < self.size, "rank {dest} out of range");
+        assert!(tag.is_user(), "tags >= 0xFFFF0000 are reserved");
+        self.send_internal(dest, tag, data);
+    }
+
+    fn send_internal(&mut self, dest: Rank, tag: Tag, data: &[u8]) {
+        let me = self.rank();
+        let seq = self.next_seq_to.entry(dest).or_insert(0);
+        let env = Envelope {
+            tag,
+            seq: *seq,
+            src: me,
+            data: data.to_vec(),
+        };
+        *seq += 1;
+        if dest == self.rank() {
+            // Self-sends match locally without touching the network.
+            self.inbox.lock().push(env);
+            return;
+        }
+        let bytes = env.encode();
+        // Large-handler 0 is the MPI sink on every rank.
+        self.ep
+            .send_large(NodeId(dest), fm_core::HandlerId(0), &bytes);
+    }
+
+    /// Blocking receive with wildcard source/tag. Returns
+    /// `(source, tag, data)`.
+    pub fn recv(&mut self, src: Option<Rank>, tag: Option<Tag>) -> (Rank, Tag, Vec<u8>) {
+        loop {
+            if let Some(env) = self.inbox.lock().take(src, tag) {
+                return (env.src, env.tag, env.data);
+            }
+            self.ep.extract();
+            std::thread::yield_now();
+        }
+    }
+
+    /// Non-blocking probe-and-receive.
+    pub fn try_recv(&mut self, src: Option<Rank>, tag: Option<Tag>) -> Option<(Rank, Tag, Vec<u8>)> {
+        self.ep.extract();
+        self.inbox
+            .lock()
+            .take(src, tag)
+            .map(|env| (env.src, env.tag, env.data))
+    }
+
+    /// Service the network without receiving (keeps acks and fragments
+    /// flowing during long local compute phases).
+    pub fn progress(&mut self) {
+        self.ep.extract();
+    }
+
+    /// Messages that arrived out of their sequence order (evidence of FM's
+    /// unordered delivery being papered over by this layer).
+    pub fn reordered_messages(&self) -> u64 {
+        self.inbox.lock().reordered
+    }
+
+    /// Underlying FM endpoint statistics.
+    pub fn fm_stats(&self) -> fm_core::EndpointStats {
+        self.ep.stats()
+    }
+
+    // Internal send/recv on reserved tags, for the collectives module.
+    pub(crate) fn send_reserved(&mut self, dest: Rank, tag: Tag, data: &[u8]) {
+        debug_assert!(!tag.is_user());
+        self.send_internal(dest, tag, data);
+    }
+
+    pub(crate) fn recv_reserved(&mut self, src: Rank, tag: Tag) -> Vec<u8> {
+        let (_, _, data) = self.recv(Some(src), Some(tag));
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_rank_send_recv_threads() {
+        let mut comms = MpiCluster::new(2);
+        let mut c1 = comms.pop().unwrap();
+        let mut c0 = comms.pop().unwrap();
+        let t = std::thread::spawn(move || {
+            let (src, tag, data) = c1.recv(None, None);
+            assert_eq!((src, tag), (0, Tag(9)));
+            c1.send(0, Tag(10), &data.iter().map(|b| b + 1).collect::<Vec<_>>());
+        });
+        c0.send(1, Tag(9), &[1, 2, 3]);
+        let (_, _, reply) = c0.recv(Some(1), Some(Tag(10)));
+        assert_eq!(reply, vec![2, 3, 4]);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn large_message_roundtrip() {
+        let mut comms = MpiCluster::new(2);
+        let mut c1 = comms.pop().unwrap();
+        let mut c0 = comms.pop().unwrap();
+        let big: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
+        let big2 = big.clone();
+        let t = std::thread::spawn(move || {
+            let (_, _, data) = c1.recv(Some(0), Some(Tag(1)));
+            assert_eq!(data, big2);
+            c1.send(0, Tag(2), &[data.len() as u8]);
+        });
+        c0.send(1, Tag(1), &big);
+        let (_, _, ack) = c0.recv(Some(1), Some(Tag(2)));
+        assert_eq!(ack, vec![(50_000 % 256) as u8]);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn self_send_matches_locally() {
+        let mut comms = MpiCluster::new(1);
+        let mut c = comms.pop().unwrap();
+        c.send(0, Tag(3), b"me");
+        let (src, tag, data) = c.recv(Some(0), Some(Tag(3)));
+        assert_eq!((src, tag, data.as_slice()), (0, Tag(3), &b"me"[..]));
+        assert_eq!(c.fm_stats().sent, 0, "no frames hit the wire");
+    }
+
+    #[test]
+    fn per_pair_fifo_order_preserved() {
+        let mut comms = MpiCluster::new(2);
+        let mut c1 = comms.pop().unwrap();
+        let mut c0 = comms.pop().unwrap();
+        let t = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            for _ in 0..20 {
+                let (_, _, d) = c1.recv(Some(0), Some(Tag(5)));
+                got.push(d[0]);
+            }
+            got
+        });
+        for i in 0..20u8 {
+            c0.send(1, Tag(5), &[i]);
+        }
+        // Drain acks so rank 0 quiesces.
+        for _ in 0..10 {
+            c0.progress();
+        }
+        let got = t.join().unwrap();
+        assert_eq!(got, (0..20).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reserved_tag_rejected_for_users() {
+        let mut comms = MpiCluster::new(1);
+        comms[0].send(0, Tag(Tag::RESERVED), b"no");
+    }
+
+    #[test]
+    fn reduce_op_identities() {
+        for op in [ReduceOp::Sum, ReduceOp::Prod, ReduceOp::Min, ReduceOp::Max] {
+            assert_eq!(op.apply(op.identity(), 3.5), 3.5);
+        }
+        assert_eq!(ReduceOp::Sum.apply(2.0, 3.0), 5.0);
+        assert_eq!(ReduceOp::Prod.apply(2.0, 3.0), 6.0);
+        assert_eq!(ReduceOp::Min.apply(2.0, 3.0), 2.0);
+        assert_eq!(ReduceOp::Max.apply(2.0, 3.0), 3.0);
+    }
+}

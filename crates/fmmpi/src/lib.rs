@@ -1,0 +1,80 @@
+//! # fm-mpi — a small message-passing library on Fast Messages
+//!
+//! The paper's Section 7 names MPI as the first client it intends to build
+//! on FM ("FM is designed to support efficient implementation of a variety
+//! of communication libraries"); this crate is that layer, scoped to the
+//! core of MPI-1: matched point-to-point (`send`/`recv` with source and
+//! tag), plus the collectives an application kernel needs (`barrier`,
+//! `bcast`, `reduce`, `allreduce`, `gather`, `scatter`).
+//!
+//! Everything rides FM's primitives: messages of any size go through the
+//! segmentation extension (itself plain `FM_send` frames), matching runs in
+//! handlers during `FM_extract`, and collectives are trees/dissemination
+//! patterns of point-to-point messages. Because FM does **not** guarantee
+//! ordering (Table 3), every message carries a per-destination sequence
+//! number and the receiver admits messages to the matching queue strictly
+//! in sequence — restoring the per-source FIFO ordering MPI requires.
+//!
+//! ```
+//! use fm_mpi::{MpiCluster, Tag};
+//!
+//! let comms = MpiCluster::new(2);
+//! let mut handles = Vec::new();
+//! for mut c in comms {
+//!     handles.push(std::thread::spawn(move || {
+//!         if c.rank() == 0 {
+//!             c.send(1, Tag(7), b"hello");
+//!             c.barrier();
+//!         } else {
+//!             let (src, _tag, data) = c.recv(Some(0), Some(Tag(7)));
+//!             assert_eq!((src, data.as_slice()), (0, &b"hello"[..]));
+//!             c.barrier();
+//!         }
+//!     }));
+//! }
+//! for h in handles {
+//!     h.join().unwrap();
+//! }
+//! ```
+
+pub mod collectives;
+pub mod comm;
+pub mod group;
+pub mod matching;
+pub mod nonblocking;
+
+pub use comm::{Communicator, MpiCluster, ReduceOp};
+pub use group::Group;
+pub use nonblocking::RecvRequest;
+pub use matching::{Envelope, MatchQueue};
+
+/// A process rank within the cluster (0-based).
+pub type Rank = u16;
+
+/// An MPI-style message tag. Tags at or above [`Tag::RESERVED`] are used
+/// internally by the collectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(pub u32);
+
+impl Tag {
+    /// First tag value reserved for internal protocols.
+    pub const RESERVED: u32 = 0xFFFF_0000;
+
+    /// Is this tag available to applications?
+    pub fn is_user(self) -> bool {
+        self.0 < Tag::RESERVED
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_tags_flagged() {
+        assert!(Tag(0).is_user());
+        assert!(Tag(Tag::RESERVED - 1).is_user());
+        assert!(!Tag(Tag::RESERVED).is_user());
+        assert!(!Tag(u32::MAX).is_user());
+    }
+}

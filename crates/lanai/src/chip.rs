@@ -1,0 +1,181 @@
+//! The LANai chip: one sequential processor plus three autonomous DMA
+//! engines (incoming channel, outgoing channel, host), each a busy-until
+//! resource. The processor *programs* an engine (paying instruction and
+//! setup costs) and may then either block on it — the sequential style of
+//! the paper's Figure-2 pseudocode — or continue and poll completion later.
+
+use crate::consts::{instr, DMA_SETUP, SRAM_BYTES};
+use fm_des::{Duration, Time};
+use fm_myrinet::consts::wire_time;
+use fm_sbus::consts::dma_burst_time;
+
+/// Identifies one of the LANai's three DMA engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DmaEngine {
+    /// Network receive channel -> LANai SRAM.
+    NetIn,
+    /// LANai SRAM -> network send channel.
+    NetOut,
+    /// LANai SRAM <-> host memory across the SBus.
+    Host,
+}
+
+/// One LANai chip's resources.
+#[derive(Debug, Clone)]
+pub struct LanaiChip {
+    proc_free: Time,
+    net_in_free: Time,
+    net_out_free: Time,
+    host_free: Time,
+    proc_busy: Duration,
+    instructions: u64,
+}
+
+impl Default for LanaiChip {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LanaiChip {
+    pub fn new() -> Self {
+        LanaiChip {
+            proc_free: Time::ZERO,
+            net_in_free: Time::ZERO,
+            net_out_free: Time::ZERO,
+            host_free: Time::ZERO,
+            proc_busy: Duration::ZERO,
+            instructions: 0,
+        }
+    }
+
+    /// Execute `n` LCP instructions starting no earlier than `now`; returns
+    /// completion time. The processor is sequential, so bursts serialize.
+    pub fn exec(&mut self, now: Time, n: u64) -> Time {
+        let start = now.max(self.proc_free);
+        let end = start + instr(n);
+        self.proc_free = end;
+        self.proc_busy += instr(n);
+        self.instructions += n;
+        end
+    }
+
+    /// Block the processor until `until` (a blocking wait on a DMA engine,
+    /// as in the Figure-2 pseudocode steps).
+    pub fn block_until(&mut self, until: Time) {
+        if until > self.proc_free {
+            self.proc_free = until;
+        }
+    }
+
+    fn engine_free(&mut self, e: DmaEngine) -> &mut Time {
+        match e {
+            DmaEngine::NetIn => &mut self.net_in_free,
+            DmaEngine::NetOut => &mut self.net_out_free,
+            DmaEngine::Host => &mut self.host_free,
+        }
+    }
+
+    /// Start a DMA of `n` bytes on engine `e` at (no earlier than) `now`.
+    /// Returns `(start, end)`: `start` is when the engine begins moving data
+    /// (after its 320 ns setup and any earlier transfer on the same engine),
+    /// `end` when the last byte has moved.
+    ///
+    /// The data phase rate depends on the engine: the channel engines move
+    /// one byte per 12.5 ns (the link rate); the host engine moves data at
+    /// the SBus burst rate. For [`DmaEngine::Host`], the caller must *also*
+    /// reserve the SBus itself (see `fm-sbus`) — this method only accounts
+    /// for the engine's occupancy.
+    pub fn start_dma(&mut self, now: Time, e: DmaEngine, n: usize) -> (Time, Time) {
+        let free = self.engine_free(e);
+        let setup_start = now.max(*free);
+        let start = setup_start + DMA_SETUP;
+        let data = match e {
+            DmaEngine::NetIn | DmaEngine::NetOut => wire_time(n),
+            DmaEngine::Host => dma_burst_time(n),
+        };
+        let end = start + data;
+        *free = end;
+        (start, end)
+    }
+
+    /// When engine `e` is next free.
+    pub fn dma_free_at(&mut self, e: DmaEngine) -> Time {
+        *self.engine_free(e)
+    }
+
+    pub fn proc_free_at(&self) -> Time {
+        self.proc_free
+    }
+
+    /// Total instructions executed (for MIPS-budget reporting).
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    pub fn proc_busy_total(&self) -> Duration {
+        self.proc_busy
+    }
+
+    /// SRAM capacity check helper: would `bytes` of queue space fit?
+    pub fn fits_in_sram(bytes: usize) -> bool {
+        bytes <= SRAM_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processor_serializes_bursts() {
+        let mut c = LanaiChip::new();
+        let e1 = c.exec(Time::ZERO, 10); // 1600 ns
+        let e2 = c.exec(Time::ZERO, 5); // queued behind
+        assert_eq!(e1, Time::from_ns(1600));
+        assert_eq!(e2, Time::from_ns(2400));
+        assert_eq!(c.instructions(), 15);
+    }
+
+    #[test]
+    fn dma_engines_are_independent() {
+        let mut c = LanaiChip::new();
+        let (_, out_end) = c.start_dma(Time::ZERO, DmaEngine::NetOut, 128);
+        let (_, in_end) = c.start_dma(Time::ZERO, DmaEngine::NetIn, 128);
+        assert_eq!(out_end, in_end, "different engines run concurrently");
+        // Same engine serializes (setup included each time).
+        let (s2, _) = c.start_dma(Time::ZERO, DmaEngine::NetOut, 128);
+        assert_eq!(s2, out_end + DMA_SETUP);
+    }
+
+    #[test]
+    fn net_dma_timing_matches_appendix_a() {
+        let mut c = LanaiChip::new();
+        let (start, end) = c.start_dma(Time::ZERO, DmaEngine::NetOut, 128);
+        assert_eq!(start, Time::from_ns(320));
+        assert_eq!(end, Time::from_ns(320 + 1600));
+    }
+
+    #[test]
+    fn host_dma_slower_per_byte_than_wire_for_same_bytes() {
+        let mut c = LanaiChip::new();
+        let (_, net_end) = c.start_dma(Time::ZERO, DmaEngine::NetOut, 1024);
+        let (_, host_end) = c.start_dma(Time::ZERO, DmaEngine::Host, 1024);
+        // 48 MB/s < 76.3 MB/s, so host DMA takes longer.
+        assert!(host_end > net_end);
+    }
+
+    #[test]
+    fn block_until_moves_processor_forward_only() {
+        let mut c = LanaiChip::new();
+        c.block_until(Time::from_ns(500));
+        c.block_until(Time::from_ns(100));
+        assert_eq!(c.proc_free_at(), Time::from_ns(500));
+    }
+
+    #[test]
+    fn sram_capacity() {
+        assert!(LanaiChip::fits_in_sram(64 * 1024));
+        assert!(!LanaiChip::fits_in_sram(256 * 1024));
+    }
+}

@@ -1,0 +1,61 @@
+//! LANai 2.3 timing constants (paper Section 2 and Appendix A).
+
+use fm_des::Duration;
+
+/// LANai clock cycle: the chip runs at the SBus clock (20–25 MHz); we use
+/// 25 MHz = 40 ns, the value Appendix A uses (8 cycles x 40 ns = 320 ns DMA
+/// setup).
+pub const CYCLE: Duration = Duration(40_000);
+
+/// Cycles per LANai instruction: "executing one instruction every 3–4
+/// cycles" (Section 2). We use 4, making one instruction 160 ns; at that
+/// rate spooling a 128-byte packet (1.6 µs of wire time) equals 10
+/// instructions, matching the paper's "eight to ten".
+pub const CYCLES_PER_INSTR: u64 = 4;
+
+/// Time per LANai instruction.
+pub const INSTR: Duration = Duration(CYCLE.0 * CYCLES_PER_INSTR);
+
+/// DMA engine setup: 8 cycles = 320 ns (Appendix A).
+pub const DMA_SETUP: Duration = Duration(CYCLE.0 * 8);
+
+/// On-board SRAM: 128 KB (Section 5 compares this against HPAM's 1 MB).
+pub const SRAM_BYTES: usize = 128 * 1024;
+
+/// Time for `n` LANai instructions.
+#[inline]
+pub const fn instr(n: u64) -> Duration {
+    Duration(INSTR.0 * n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fm_myrinet::consts::wire_time;
+
+    #[test]
+    fn instruction_is_160ns() {
+        assert_eq!(INSTR, Duration::from_ns(160));
+        assert_eq!(instr(10), Duration::from_ns(1600));
+    }
+
+    #[test]
+    fn dma_setup_matches_appendix_a() {
+        assert_eq!(DMA_SETUP, Duration::from_ns(320));
+    }
+
+    #[test]
+    fn spooling_128_bytes_is_8_to_10_instructions() {
+        // Paper Section 2: the sanity check that ties the instruction cost
+        // to the link rate.
+        let spool = wire_time(128);
+        let instrs = spool.as_ps() / INSTR.as_ps();
+        assert!((8..=10).contains(&instrs), "{instrs} instructions");
+    }
+
+    #[test]
+    fn mips_is_about_5() {
+        let ips = 1e12 / INSTR.as_ps() as f64;
+        assert!((5e6..8e6).contains(&ips), "{ips} instr/s");
+    }
+}

@@ -1,0 +1,27 @@
+//! # fm-lanai — the Myrinet network coprocessor and its control programs
+//!
+//! The LANai 2.3 is the paper's central constraint: a ~5 MIPS CISC
+//! coprocessor (one instruction per 3–4 cycles at the 25 MHz SBus clock)
+//! that must keep up with a 76.3 MB/s link. Spooling a 128-byte packet takes
+//! 1.6 µs — "the equivalent of only about eight to ten LANai instructions"
+//! (Section 2). Every instruction in the LANai control program's inner loop
+//! is therefore directly visible in latency and half-power point, which is
+//! why the paper's Figure 3/7 experiments vary the LCP and measure the
+//! damage.
+//!
+//! This crate provides:
+//! * [`chip`] — the hardware resources: the sequential LCP processor and the
+//!   three DMA engines (incoming channel, outgoing channel, host), modeled
+//!   as busy-until resources with the Appendix-A setup cost;
+//! * [`lcp`] — instruction budgets for each LCP variant the paper measures
+//!   (*baseline*, *streamed*, ± buffer management, ± simulated packet
+//!   interpretation), with each budget anchored to the Table-4 row it
+//!   reproduces.
+
+pub mod chip;
+pub mod consts;
+pub mod lcp;
+
+pub use chip::{DmaEngine, LanaiChip};
+pub use consts::*;
+pub use lcp::{LcpCosts, LcpVariant};

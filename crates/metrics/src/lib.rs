@@ -1,0 +1,28 @@
+//! # fm-metrics — the paper's performance metrics and report rendering
+//!
+//! Table 2 of the paper defines four metrics; this crate extracts them from
+//! measured latency/bandwidth curves and renders the tables and figures as
+//! text:
+//!
+//! | metric | definition | extraction here |
+//! |---|---|---|
+//! | `r_inf` | peak bandwidth for infinitely large packets | Hockney fit of per-packet time `T(n) = a + b n` over the upper half of the sweep; `r_inf = 1/b` |
+//! | `n_1/2` | packet size achieving `r_inf / 2` | interpolated crossing of the measured bandwidth curve (falls back to the fit's `a/b` when the sweep never reaches half power) |
+//! | `t0` | startup overhead | intercept of the one-way latency fit |
+//! | `l` | one-way packet latency | measured directly |
+//!
+//! Rendering lives in [`table`] (aligned text tables), [`plot`] (ASCII line
+//! charts standing in for the paper's figures) and [`csv`] (for external
+//! plotting).
+
+pub mod csv;
+pub mod fit;
+pub mod plot;
+pub mod table;
+
+pub use fit::{derive_metrics, linear_fit, LayerMetrics, LinearFit};
+pub use plot::AsciiPlot;
+pub use table::Table;
+
+/// The paper's megabyte: 2^20 bytes.
+pub const MB: f64 = (1u64 << 20) as f64;

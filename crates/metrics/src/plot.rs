@@ -1,0 +1,171 @@
+//! ASCII line plots — the textual stand-in for the paper's figures.
+//!
+//! Each figure binary renders its latency/bandwidth curves with one of
+//! these plots (one glyph per series) plus a CSV file for anyone who wants
+//! real graphics.
+
+use std::fmt::Write as _;
+
+/// A multi-series scatter/line plot on a character grid.
+#[derive(Debug, Clone)]
+pub struct AsciiPlot {
+    title: String,
+    x_label: String,
+    y_label: String,
+    width: usize,
+    height: usize,
+    series: Vec<(String, char, Vec<(f64, f64)>)>,
+}
+
+impl AsciiPlot {
+    pub fn new(title: impl Into<String>) -> Self {
+        AsciiPlot {
+            title: title.into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            width: 72,
+            height: 20,
+            series: Vec::new(),
+        }
+    }
+
+    pub fn axes(mut self, x: impl Into<String>, y: impl Into<String>) -> Self {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    pub fn size(mut self, width: usize, height: usize) -> Self {
+        assert!(width >= 16 && height >= 4, "plot too small to be legible");
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Add a series; `glyph` is its mark on the grid.
+    pub fn series(
+        mut self,
+        name: impl Into<String>,
+        glyph: char,
+        points: impl IntoIterator<Item = (f64, f64)>,
+    ) -> Self {
+        self.series
+            .push((name.into(), glyph, points.into_iter().collect()));
+        self
+    }
+
+    /// Render the plot.
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, _, p)| p.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if pts.is_empty() {
+            return format!("{} (no data)\n", self.title);
+        }
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (0.0f64, f64::NEG_INFINITY); // y axis starts at 0
+        for &(x, y) in &pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if (x1 - x0).abs() < f64::EPSILON {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < f64::EPSILON {
+            y1 = y0 + 1.0;
+        }
+        let w = self.width;
+        let h = self.height;
+        let mut grid = vec![vec![' '; w]; h];
+        for (_, glyph, series) in &self.series {
+            for &(x, y) in series {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let cx = (((x - x0) / (x1 - x0)) * (w - 1) as f64).round() as usize;
+                let cy = (((y - y0) / (y1 - y0)) * (h - 1) as f64).round() as usize;
+                let row = h - 1 - cy.min(h - 1);
+                let col = cx.min(w - 1);
+                // Overlapping series show the later glyph; that is fine for
+                // eyeballing and the CSV has the exact numbers.
+                grid[row][col] = *glyph;
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let _ = writeln!(out, "{} (max {:.2})", self.y_label, y1);
+        for row in &grid {
+            let _ = writeln!(out, "  |{}", row.iter().collect::<String>());
+        }
+        let _ = writeln!(out, "  +{}", "-".repeat(w));
+        let _ = writeln!(
+            out,
+            "   {:<10.0}{:>w$.0}  [{}]",
+            x0,
+            x1,
+            self.x_label,
+            w = w - 10
+        );
+        for (name, glyph, _) in &self.series {
+            let _ = writeln!(out, "   {glyph} = {name}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_series_glyphs() {
+        let p = AsciiPlot::new("Figure X")
+            .axes("bytes", "MB/s")
+            .size(40, 10)
+            .series("a", '*', [(0.0, 0.0), (100.0, 10.0)])
+            .series("b", 'o', [(50.0, 5.0)]);
+        let s = p.render();
+        assert!(s.contains('*'));
+        assert!(s.contains('o'));
+        assert!(s.contains("* = a"));
+        assert!(s.contains("o = b"));
+        assert!(s.starts_with("Figure X\n"));
+    }
+
+    #[test]
+    fn empty_plot_degrades_gracefully() {
+        let p = AsciiPlot::new("empty");
+        assert_eq!(p.render(), "empty (no data)\n");
+    }
+
+    #[test]
+    fn extreme_points_land_on_grid_corners() {
+        let p = AsciiPlot::new("corners")
+            .size(20, 5)
+            .series("s", '#', [(0.0, 0.0), (1.0, 1.0)]);
+        let s = p.render();
+        let rows: Vec<&str> = s.lines().collect();
+        // First grid row (top) holds the max point at the right edge.
+        assert!(rows[2].ends_with('#'), "{s}");
+    }
+
+    #[test]
+    fn nan_points_are_skipped() {
+        let p = AsciiPlot::new("nan")
+            .size(20, 5)
+            .series("s", '#', [(f64::NAN, 1.0), (1.0, 2.0)]);
+        let s = p.render();
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "legible")]
+    fn tiny_plot_rejected() {
+        let _ = AsciiPlot::new("x").size(2, 2);
+    }
+}

@@ -1,0 +1,134 @@
+//! Aligned text tables (for Table 4 and the per-figure reports).
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Append a row. Shorter rows are padded with empty cells; longer rows
+    /// are a programming error.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert!(
+            r.len() <= self.headers.len(),
+            "row has {} cells but the table has {} columns",
+            r.len(),
+            self.headers.len()
+        );
+        r.resize(self.headers.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render with the first column left-aligned and the rest
+    /// right-aligned (numeric convention).
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            let _ = writeln!(out, "{t}");
+        }
+        let line = |out: &mut String| {
+            for (i, w) in widths.iter().enumerate() {
+                let _ = write!(out, "+{}", "-".repeat(w + 2));
+                if i == cols - 1 {
+                    out.push_str("+\n");
+                }
+            }
+        };
+        line(&mut out);
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(out, "| {h:^w$} ", w = widths[i]);
+        }
+        out.push_str("|\n");
+        line(&mut out);
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i == 0 {
+                    let _ = write!(out, "| {cell:<w$} ", w = widths[i]);
+                } else {
+                    let _ = write!(out, "| {cell:>w$} ", w = widths[i]);
+                }
+            }
+            out.push_str("|\n");
+        }
+        line(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(["layer", "t0 (us)", "r_inf"]);
+        t.row(["streamed", "3.5", "76.3"]);
+        t.row(["hybrid + buffer management", "3.8", "21.9"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // Separator, header, separator, 2 rows, separator.
+        assert_eq!(lines.len(), 6);
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width), "{s}");
+        assert!(s.contains("| streamed                   |"));
+        assert!(s.contains("3.8 |"), "{s}");
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["x"]);
+        assert_eq!(t.len(), 1);
+        let s = t.render();
+        assert!(s.lines().all(|l| !l.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn overlong_row_panics() {
+        let mut t = Table::new(["a"]);
+        t.row(["x", "y"]);
+    }
+
+    #[test]
+    fn title_prepended() {
+        let mut t = Table::new(["a"]).with_title("Table 4");
+        t.row(["1"]);
+        assert!(t.render().starts_with("Table 4\n"));
+    }
+}

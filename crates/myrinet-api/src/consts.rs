@@ -1,0 +1,68 @@
+//! Cost constants of the Myrinet API 2.0 behavioural model.
+//!
+//! Everything is charged at the same hardware rates as FM (LANai
+//! instructions at 160 ns, host instructions at 20 ns, PIO/DMA per
+//! `fm-sbus`); the API differs only in *how much* of each it needs — which
+//! is exactly the paper's argument.
+
+/// LANai control-loop period, in LANai instructions. The API's loop
+/// services automatic network remapping, route validation, buffer pools
+/// and scatter-gather state ("automatic, continuous" reconfiguration —
+/// Table 3), so a command posted by the host waits for the next loop
+/// boundary: up to 40 µs, 20 µs on average.
+pub const API_LOOP_INSTR: u64 = 250;
+
+/// LANai instructions to validate and dispatch one send command (route
+/// lookup, buffer bookkeeping, header build).
+pub const API_DISPATCH_INSTR: u64 = 200;
+
+/// LANai instructions to process one received packet (validate, choose a
+/// buffer, update the pool).
+pub const API_RECV_INSTR: u64 = 200;
+
+/// LANai instructions to process a buffer-return command from the host.
+pub const API_RETURN_INSTR: u64 = 60;
+
+/// Host instructions to build a send command block.
+pub const API_HOST_CMD_INSTR: u64 = 20;
+
+/// Host instructions to initiate/complete one pointer handshake.
+pub const API_HOST_HANDSHAKE_INSTR: u64 = 10;
+
+/// Command block size written over the SBus per send (descriptor +
+/// scatter-gather list).
+pub const API_CMD_BLOCK_BYTES: usize = 32;
+
+/// Host checksum cost: instructions per 8 payload bytes ("message
+/// checksums", Table 3). 4 instr / 8 B = 10 ns/B on a 50 MHz host.
+pub const API_CHECKSUM_INSTR_PER_8B: u64 = 4;
+
+/// Outstanding sends the API allows before the host must wait for a
+/// buffer to come back ("small number of large buffers"). The pointer
+/// handshake per buffer is what Section 4.6 blames: "synchronization
+/// between the host and the LANai is expensive, yet must be done
+/// frequently in the Myrinet API, to pass buffer pointers back and forth".
+pub const API_OUTSTANDING: usize = 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fm_lanai::instr;
+
+    #[test]
+    fn loop_period_is_40us() {
+        assert_eq!(instr(API_LOOP_INSTR).as_us_f64(), 40.0);
+    }
+
+    #[test]
+    fn dispatch_is_32us() {
+        assert_eq!(instr(API_DISPATCH_INSTR).as_us_f64(), 32.0);
+    }
+
+    #[test]
+    fn checksum_rate_is_10ns_per_byte() {
+        // 4 host instructions (20 ns) per 8 bytes.
+        let ns_per_byte = API_CHECKSUM_INSTR_PER_8B as f64 * 20.0 / 8.0;
+        assert_eq!(ns_per_byte, 10.0);
+    }
+}

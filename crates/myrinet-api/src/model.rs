@@ -1,0 +1,347 @@
+//! Trajectory model of `myri_cmd_send_imm` / `myri_cmd_send` between two
+//! hosts, on the same hardware substrate FM uses.
+//!
+//! The API's command pipeline is strictly synchronous
+//! (`API_OUTSTANDING = 1`), so the trajectory computation is exact: each
+//! message's chain is
+//!
+//! ```text
+//! host: checksum + command block (PIO) [+ staging memcpy for send()]
+//!       + payload PIO (imm) --------------------------+
+//! LANai: ... next control-loop boundary ... dispatch   | (send() pulls the
+//!        [+ host-DMA pull for send()] + wire DMA <-----+  payload by DMA)
+//! switch: 550 ns
+//! LANai (rx): ... next loop boundary ... receive processing
+//!        + host-DMA into a pool buffer
+//! host (rx): poll, checksum verify, copy out of the DMA region,
+//!        buffer-return handshake (PIO + next loop boundary)
+//! host (tx): completion poll + buffer-return handshake before the next
+//!        send may be issued
+//! ```
+
+use fm_des::{Duration, Time};
+use fm_lanai::{instr, DmaEngine, LanaiChip, DMA_SETUP};
+use fm_myrinet::{Network, NetworkConfig, NodeId};
+use fm_sbus::{BusOp, HostCpu, SBus};
+
+use crate::consts::*;
+
+/// Which API entry point (Figure 9 plots both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ApiVariant {
+    /// `myri_cmd_send_imm()`: the host moves the payload with PIO.
+    SendImm,
+    /// `myri_cmd_send()`: the payload is staged in the DMA region and
+    /// pulled by the LANai.
+    Send,
+}
+
+impl ApiVariant {
+    pub fn name(self) -> &'static str {
+        match self {
+            ApiVariant::SendImm => "Myrinet API (myri_cmd_send_imm())",
+            ApiVariant::Send => "Myrinet API (myri_cmd_send())",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ApiNode {
+    host: HostCpu,
+    bus: SBus,
+    chip: LanaiChip,
+    /// When the LCP control loop next completes an iteration and checks
+    /// for work. The loop re-anchors after every serviced command, so the
+    /// polling phase drifts with the work performed (as on real hardware)
+    /// instead of staying locked to a global grid.
+    next_poll: Time,
+    /// When this node's (single) receive-pool buffer is free again —
+    /// Table 3's "small number of large buffers": the next incoming packet
+    /// cannot be accepted until the host has handed the previous buffer
+    /// back.
+    pool_free: Time,
+}
+
+impl ApiNode {
+    fn new() -> Self {
+        ApiNode {
+            host: HostCpu::new(),
+            bus: SBus::new(),
+            chip: LanaiChip::new(),
+            next_poll: Time::ZERO,
+            pool_free: Time::ZERO,
+        }
+    }
+
+    /// When will the LCP notice work posted at `ready`?
+    fn lcp_wake(&mut self, ready: Time) -> Time {
+        let period = instr(API_LOOP_INSTR).as_ps();
+        let mut next = self.next_poll.max(self.chip.proc_free_at());
+        if ready > next {
+            let behind = ready.as_ps() - next.as_ps();
+            next = Time::from_ps(next.as_ps() + behind.div_ceil(period) * period);
+        }
+        next
+    }
+
+    /// The LCP serviced work until `end`. The loop's other queue checks
+    /// happen in the same iteration, so work already pending at `end` is
+    /// picked up immediately; fresh work waits for a later boundary of the
+    /// grid re-anchored at `end`.
+    fn lcp_resume(&mut self, end: Time) {
+        self.next_poll = end;
+    }
+}
+
+fn checksum_time(n: usize) -> Duration {
+    HostCpu::instr(API_CHECKSUM_INSTR_PER_8B * (n.div_ceil(8) as u64))
+}
+
+/// One message end to end. Returns `(receiver_done, sender_released)` —
+/// when the receiving application owns the data, and when the sending host
+/// may issue its next command.
+fn api_message(
+    variant: ApiVariant,
+    s: &mut ApiNode,
+    r: &mut ApiNode,
+    net: &mut Network,
+    src: NodeId,
+    dst: NodeId,
+    n: usize,
+    ready: Time,
+) -> (Time, Time) {
+    // --- sending host -----------------------------------------------------
+    let mut t = s.host.run(ready, HostCpu::instr(API_HOST_CMD_INSTR));
+    t = s.host.run(t, checksum_time(n));
+    if variant == ApiVariant::Send {
+        // Stage the payload into the pinned DMA region and write the
+        // gather descriptor; the LCP validates the descriptor as part of
+        // dispatch (charged below), and pulls the payload by DMA.
+        t = s.host.run(t, HostCpu::memcpy(n));
+        let (_, reg_end) = s.bus.transact(t, BusOp::PioWrite(16));
+        s.host.block_until(reg_end);
+        t = reg_end;
+    }
+    // Command block across the SBus.
+    let (_, cmd_end) = s.bus.transact(t, BusOp::PioWrite(API_CMD_BLOCK_BYTES));
+    s.host.block_until(cmd_end);
+    t = cmd_end;
+    if variant == ApiVariant::SendImm {
+        // Payload follows by PIO into the LANai's staging buffer.
+        let (_, pio_end) = s.bus.transact(t, BusOp::PioWrite(n));
+        s.host.block_until(pio_end);
+        t = pio_end;
+    }
+
+    // --- sending LANai ------------------------------------------------------
+    let wake = s.lcp_wake(t);
+    let dispatch = if variant == ApiVariant::Send {
+        // Gather-descriptor validation and DMA-region bookkeeping on top
+        // of the ordinary dispatch.
+        API_DISPATCH_INSTR + API_RETURN_INSTR
+    } else {
+        API_DISPATCH_INSTR
+    };
+    let mut lt = s.chip.exec(wake, dispatch);
+    if variant == ApiVariant::Send {
+        // Pull the payload from the DMA region.
+        let (_, pull_end) = s.bus.transact(lt + DMA_SETUP, BusOp::DmaBurst(n));
+        s.chip.block_until(pull_end);
+        lt = pull_end;
+    }
+    let (dstart, dend) = s.chip.start_dma(lt, DmaEngine::NetOut, n);
+    s.chip.block_until(dend);
+    s.lcp_resume(dend);
+    let d = net.inject(dstart, src, dst, n);
+
+    // --- receiving LANai ----------------------------------------------------
+    // The packet can only be accepted once the pool buffer is back.
+    let rwake = r.lcp_wake(d.head_at.max(r.pool_free));
+    let rexec = r.chip.exec(rwake, API_RECV_INSTR);
+    let (_, rend) = r.chip.start_dma(rexec, DmaEngine::NetIn, n);
+    let landed = rend.max(d.tail_at);
+    r.chip.block_until(landed);
+    // Deliver into a pool buffer in the host DMA region.
+    let (_, deliv_end) = r.bus.transact(landed + DMA_SETUP, BusOp::DmaBurst(n));
+    r.chip.block_until(deliv_end);
+    r.lcp_resume(deliv_end);
+
+    // --- receiving host -------------------------------------------------------
+    // Poll the status flag across the SBus, verify the checksum, copy out
+    // of the DMA region, then hand the buffer pointer back to the LANai.
+    let (_, poll_end) = r
+        .bus
+        .transact(r.host.free_at().max(deliv_end), BusOp::StatusRead);
+    r.host.block_until(poll_end);
+    let mut ht = r.host.run(poll_end, checksum_time(n));
+    ht = r.host.run(ht, HostCpu::memcpy(n));
+    ht = r.host.run(ht, HostCpu::instr(API_HOST_HANDSHAKE_INSTR));
+    let (_, ret_end) = r.bus.transact(ht, BusOp::PioWrite(8));
+    r.host.block_until(ret_end);
+    // The LANai absorbs the return at its next boundary (off the critical
+    // path for the receiver, but it occupies the LCP).
+    let ret_wake = r.lcp_wake(ret_end);
+    let ret_done = r.chip.exec(ret_wake, API_RETURN_INSTR);
+    r.lcp_resume(ret_done);
+    r.pool_free = ret_done;
+    let receiver_done = ht;
+
+    // --- sender-side completion + buffer return --------------------------------
+    // The LANai only writes the completion flag after finishing its
+    // current pass through the feature-laden control loop; the host then
+    // spins on the command-status field and performs the buffer-return
+    // handshake that the single-buffer pipeline requires before the next
+    // send. (None of this is on the *receiver's* critical path, which is
+    // why the API's bandwidth suffers far more than its latency.)
+    let flag_at = dend + instr(API_LOOP_INSTR);
+    let (_, comp_end) = s.bus.transact(s.host.free_at().max(flag_at), BusOp::StatusRead);
+    s.host.block_until(comp_end);
+    let hs = s
+        .host
+        .run(comp_end, HostCpu::instr(API_HOST_HANDSHAKE_INSTR));
+    let (_, hret_end) = s.bus.transact(hs, BusOp::PioWrite(8));
+    s.host.block_until(hret_end);
+    let hret_wake = s.lcp_wake(hret_end);
+    let freed = s.chip.exec(hret_wake, API_RETURN_INSTR);
+    s.lcp_resume(freed);
+    // Host learns the buffer is free with one more status read.
+    let (_, free_seen) = s.bus.transact(s.host.free_at().max(freed), BusOp::StatusRead);
+    s.host.block_until(free_seen);
+
+    (receiver_done, free_seen)
+}
+
+/// Ping-pong one-way latency, paper-style (total / 2 rounds).
+pub fn run_api_pingpong(variant: ApiVariant, n: usize, rounds: usize) -> Duration {
+    assert!(rounds > 0);
+    let mut net = Network::new(NetworkConfig::two_hosts());
+    let mut a = ApiNode::new();
+    let mut b = ApiNode::new();
+    let mut t = Time::ZERO;
+    for _ in 0..rounds {
+        let (done, _) = api_message(variant, &mut a, &mut b, &mut net, NodeId(0), NodeId(1), n, t);
+        let (back, _) = api_message(variant, &mut b, &mut a, &mut net, NodeId(1), NodeId(0), n, done);
+        t = back;
+    }
+    Duration::from_ps(t.as_ps() / (2 * rounds as u64))
+}
+
+/// Streaming bandwidth in MB/s (2^20), `count` messages of `n` bytes.
+pub fn run_api_stream(variant: ApiVariant, n: usize, count: usize) -> f64 {
+    assert!(n > 0 && count > 0);
+    let mut net = Network::new(NetworkConfig::two_hosts());
+    let mut s = ApiNode::new();
+    let mut r = ApiNode::new();
+    let mut released = std::collections::VecDeque::with_capacity(API_OUTSTANDING);
+    let mut last_done = Time::ZERO;
+    for _ in 0..count {
+        let ready = if released.len() >= API_OUTSTANDING {
+            let t: Time = released.pop_front().expect("len checked");
+            t.max(s.host.free_at())
+        } else {
+            s.host.free_at()
+        };
+        let (done, freed) = api_message(variant, &mut s, &mut r, &mut net, NodeId(0), NodeId(1), n, ready);
+        released.push_back(freed);
+        last_done = done;
+    }
+    let elapsed = last_done.since(Time::ZERO);
+    (n as f64 * count as f64) / elapsed.as_secs_f64() / (1u64 << 20) as f64
+}
+
+/// Latency sweep for Figure 9(a).
+pub fn api_latency_sweep(variant: ApiVariant, sizes: &[usize], rounds: usize) -> Vec<(usize, f64)> {
+    sizes
+        .iter()
+        .map(|&n| (n, run_api_pingpong(variant, n, rounds).as_us_f64()))
+        .collect()
+}
+
+/// Bandwidth sweep for Figure 9(b).
+pub fn api_bandwidth_sweep(variant: ApiVariant, sizes: &[usize], count: usize) -> Vec<(usize, f64)> {
+    sizes
+        .iter()
+        .map(|&n| (n, run_api_stream(variant, n, count)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_wake_math() {
+        let p = instr(API_LOOP_INSTR);
+        let mut node = ApiNode::new();
+        // Work posted before the first poll waits for it.
+        assert_eq!(node.lcp_wake(Time::ZERO), Time::ZERO);
+        // Work posted mid-cycle waits for the next boundary of the grid
+        // anchored at next_poll.
+        node.next_poll = Time::ZERO + p;
+        assert_eq!(node.lcp_wake(Time::from_ns(1)), Time::ZERO + p);
+        assert_eq!(
+            node.lcp_wake(Time::ZERO + p + Duration::from_ns(1)),
+            Time::ZERO + p + p
+        );
+        // Servicing work re-anchors the loop at the service end, so work
+        // already pending then is taken in the same iteration.
+        node.lcp_resume(Time::from_us(1000));
+        assert_eq!(node.next_poll, Time::from_us(1000));
+        assert_eq!(node.lcp_wake(Time::from_us(999)), Time::from_us(1000));
+    }
+
+    #[test]
+    fn imm_latency_near_105us() {
+        // Table 4: myri_cmd_send_imm t0 = 105 us. Small packets.
+        let l = run_api_pingpong(ApiVariant::SendImm, 16, 50).as_us_f64();
+        assert!((85.0..130.0).contains(&l), "send_imm t0 ~ 105, got {l}");
+    }
+
+    #[test]
+    fn dma_variant_slower_than_imm() {
+        // Table 4: 121 us vs 105 us.
+        let imm = run_api_pingpong(ApiVariant::SendImm, 16, 50).as_us_f64();
+        let dma = run_api_pingpong(ApiVariant::Send, 16, 50).as_us_f64();
+        assert!(
+            dma > imm + 5.0,
+            "send() {dma} should exceed send_imm() {imm} by >5us"
+        );
+    }
+
+    #[test]
+    fn bandwidth_far_below_fm_at_small_sizes() {
+        // Figure 9(b): at short packet sizes the API delivers well under
+        // 2 MB/s while FM delivers 10+.
+        let b = run_api_stream(ApiVariant::SendImm, 128, 200);
+        assert!(b < 2.5, "API 128B bandwidth {b} MB/s");
+    }
+
+    #[test]
+    fn n_half_is_kilobytes_not_bytes() {
+        // The headline: two orders of magnitude worse than FM's 54 B.
+        // Find where bandwidth crosses half of its large-message value.
+        let sizes = [256usize, 1024, 2048, 4096, 8192, 16384, 32768];
+        let bw: Vec<(usize, f64)> = sizes
+            .iter()
+            .map(|&n| (n, run_api_stream(ApiVariant::SendImm, n, 60)))
+            .collect();
+        let r_big = bw.last().expect("nonempty").1;
+        let half = r_big / 2.0;
+        let n_half = bw
+            .iter()
+            .find(|&&(_, b)| b >= half)
+            .expect("half power reached")
+            .0;
+        assert!(
+            (1000..10_000).contains(&n_half),
+            "API n_1/2 ~ thousands of bytes, got {n_half} (curve {bw:?})"
+        );
+    }
+
+    #[test]
+    fn stream_deterministic() {
+        let a = run_api_stream(ApiVariant::Send, 512, 100);
+        let b = run_api_stream(ApiVariant::Send, 512, 100);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,63 @@
+//! Network cost constants, straight from the paper.
+//!
+//! Every figure's "theoretical peak" curve and every simulated wire time is
+//! derived from these three numbers (paper Appendix A):
+//!
+//! * link streaming cost: **12.5 ns/byte** (byte-wide links, 80 MB/s decimal
+//!   = 76.3 MB/s with 1 MB = 2^20, the `r_inf` the paper reports for the
+//!   LANai-only configurations),
+//! * switch cut-through latency: **550 ns**,
+//! * LANai DMA setup: **320 ns** (8 cycles x 40 ns — lives in `fm-lanai`,
+//!   duplicated here only for the analytic model).
+
+use fm_des::Duration;
+
+/// Link streaming cost per byte: 12.5 ns (12 500 ps).
+pub const LINK_NS_PER_BYTE_X10: u64 = 125; // 12.5 ns expressed in tenths
+/// Picoseconds to put one byte on the link.
+pub const LINK_PS_PER_BYTE: u64 = 12_500;
+
+/// Cut-through switch latency (head flit): 550 ns.
+pub const SWITCH_LATENCY: Duration = Duration(550_000);
+
+/// DMA setup on the LANai: 8 cycles x 40 ns = 320 ns (Appendix A).
+pub const DMA_SETUP: Duration = Duration(320_000);
+
+/// Physical link bandwidth in bytes/second (1 / 12.5 ns).
+pub const LINK_BYTES_PER_SEC: f64 = 1e12 / LINK_PS_PER_BYTE as f64;
+
+/// The paper's MB: 2^20 bytes.
+pub const MB: f64 = (1u64 << 20) as f64;
+
+/// Peak link bandwidth in the paper's units: 76.29 MB/s.
+pub const LINK_PEAK_MBS: f64 = LINK_BYTES_PER_SEC / MB;
+
+/// Time to stream `n` bytes onto (or off) a link.
+#[inline]
+pub const fn wire_time(n: usize) -> Duration {
+    Duration(n as u64 * LINK_PS_PER_BYTE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_peak_is_paper_value() {
+        // 80 MB/s decimal = 76.29... MB/s in 2^20 units; the paper rounds to
+        // 76.3.
+        assert!((LINK_PEAK_MBS - 76.29).abs() < 0.01, "{LINK_PEAK_MBS}");
+    }
+
+    #[test]
+    fn wire_time_for_128_bytes_matches_paper() {
+        // Paper Section 2: "spooling a packet of 128 bytes over the channel
+        // takes 1.6 us".
+        assert_eq!(wire_time(128), Duration::from_ns(1600));
+    }
+
+    #[test]
+    fn wire_time_zero() {
+        assert_eq!(wire_time(0), Duration::ZERO);
+    }
+}

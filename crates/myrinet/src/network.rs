@@ -1,0 +1,198 @@
+//! Network topology: hosts attached to switch ports, with per-host link
+//! occupancy and a switch fabric in between.
+
+use crate::consts::wire_time;
+use crate::packet::NodeId;
+use crate::switch::Switch;
+use fm_des::{Duration, Time};
+
+/// Topology configuration.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Number of hosts. Each host occupies one port of the (single) switch
+    /// in this model; larger clusters use `extra_hops` to approximate
+    /// multi-switch fabrics.
+    pub hosts: usize,
+    /// Ports on the switch; must be >= `hosts`.
+    pub switch_ports: usize,
+    /// Additional switch traversals on every route (0 for the paper's
+    /// single-8-port-switch testbed). Each adds one cut-through latency.
+    pub extra_hops: usize,
+    /// One-way cable propagation delay (negligible on the paper's testbed;
+    /// kept as a parameter for sensitivity studies).
+    pub cable_delay: Duration,
+}
+
+impl NetworkConfig {
+    /// The paper's testbed: two SPARCstations on an 8-port switch.
+    pub fn two_hosts() -> Self {
+        NetworkConfig {
+            hosts: 2,
+            switch_ports: 8,
+            extra_hops: 0,
+            cable_delay: Duration::ZERO,
+        }
+    }
+
+    /// `n` hosts on a single switch with `n.next_power_of_two().max(8)`
+    /// ports.
+    pub fn switched(n: usize) -> Self {
+        NetworkConfig {
+            hosts: n,
+            switch_ports: n.next_power_of_two().max(8),
+            extra_hops: 0,
+            cable_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Delivery report for one injected packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveredPacket {
+    /// When the packet's head reaches the destination host's interface.
+    pub head_at: Time,
+    /// When the last byte reaches the destination host's interface. The
+    /// receiving LANai's incoming-channel DMA cannot complete before this.
+    pub tail_at: Time,
+}
+
+/// The network fabric: computes delivery times with occupancy, never
+/// generates events itself.
+#[derive(Debug, Clone)]
+pub struct Network {
+    config: NetworkConfig,
+    switch: Switch,
+    /// When each host's *outgoing* link is next free.
+    host_link_free: Vec<Time>,
+    injected: u64,
+    bytes: u64,
+}
+
+impl Network {
+    pub fn new(config: NetworkConfig) -> Self {
+        assert!(
+            config.hosts <= config.switch_ports,
+            "more hosts ({}) than switch ports ({})",
+            config.hosts,
+            config.switch_ports
+        );
+        Network {
+            switch: Switch::new(config.switch_ports),
+            host_link_free: vec![Time::ZERO; config.hosts],
+            config,
+            injected: 0,
+            bytes: 0,
+        }
+    }
+
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    pub fn hosts(&self) -> usize {
+        self.config.hosts
+    }
+
+    /// Packets injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Wire bytes carried so far.
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Inject a packet of `n` wire bytes: the sender's outgoing DMA starts
+    /// streaming it onto the host link at `start` (the caller has already
+    /// charged DMA setup). Returns when the head and tail arrive at `dst`.
+    ///
+    /// # Panics
+    /// Panics if `src == dst` or either is out of range.
+    pub fn inject(&mut self, start: Time, src: NodeId, dst: NodeId, n: usize) -> DeliveredPacket {
+        assert_ne!(src, dst, "loopback is handled above the network");
+        assert!(src.index() < self.config.hosts, "bad src {src}");
+        assert!(dst.index() < self.config.hosts, "bad dst {dst}");
+
+        // The host link serializes back-to-back injections.
+        let link_start = start.max(self.host_link_free[src.index()]);
+        let head_at_switch = link_start + self.config.cable_delay;
+        self.host_link_free[src.index()] = link_start + wire_time(n);
+
+        // Cut-through through the switch (plus any extra hops).
+        let (mut head_out, mut tail_out) = self.switch.route(head_at_switch, dst.index(), n);
+        for _ in 0..self.config.extra_hops {
+            head_out = head_out + self.switch.latency();
+            tail_out = tail_out + self.switch.latency();
+        }
+
+        self.injected += 1;
+        self.bytes += n as u64;
+        DeliveredPacket {
+            head_at: head_out + self.config.cable_delay,
+            tail_at: tail_out + self.config.cable_delay,
+        }
+    }
+
+    /// Reset occupancy state between independent runs (counters keep
+    /// accumulating; use `new` for a fully fresh fabric).
+    pub fn reset_occupancy(&mut self) {
+        self.switch.reset();
+        self.host_link_free.fill(Time::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consts::SWITCH_LATENCY;
+
+    #[test]
+    fn back_to_back_injections_serialize_on_host_link() {
+        let mut net = Network::new(NetworkConfig::two_hosts());
+        let t = Time::from_us(1);
+        let d1 = net.inject(t, NodeId(0), NodeId(1), 200);
+        let d2 = net.inject(t, NodeId(0), NodeId(1), 200);
+        assert_eq!(
+            d2.tail_at - d1.tail_at,
+            wire_time(200),
+            "second packet streams right behind the first"
+        );
+        assert_eq!(net.injected(), 2);
+        assert_eq!(net.bytes_carried(), 400);
+    }
+
+    #[test]
+    fn extra_hops_add_switch_latency() {
+        let mut cfg = NetworkConfig::two_hosts();
+        cfg.extra_hops = 2;
+        let mut net = Network::new(cfg);
+        let d = net.inject(Time::ZERO, NodeId(0), NodeId(1), 0);
+        assert_eq!(d.head_at, Time::ZERO + SWITCH_LATENCY * 3);
+    }
+
+    #[test]
+    fn cable_delay_charged_both_sides() {
+        let mut cfg = NetworkConfig::two_hosts();
+        cfg.cable_delay = Duration::from_ns(25);
+        let mut net = Network::new(cfg);
+        let d = net.inject(Time::ZERO, NodeId(0), NodeId(1), 0);
+        assert_eq!(d.head_at.as_ns(), 550 + 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "loopback")]
+    fn loopback_rejected() {
+        let mut net = Network::new(NetworkConfig::two_hosts());
+        net.inject(Time::ZERO, NodeId(0), NodeId(0), 8);
+    }
+
+    #[test]
+    fn reset_occupancy_frees_links() {
+        let mut net = Network::new(NetworkConfig::two_hosts());
+        net.inject(Time::ZERO, NodeId(0), NodeId(1), 10_000);
+        net.reset_occupancy();
+        let d = net.inject(Time::ZERO, NodeId(0), NodeId(1), 8);
+        assert_eq!(d.head_at, Time::ZERO + SWITCH_LATENCY);
+    }
+}

@@ -1,0 +1,100 @@
+//! Packet and addressing types shared by the whole workspace.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// A node (workstation) identity. Also used as the switch-port index in the
+/// default single-switch topologies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A Myrinet packet: source-routed, variable length, opaque payload.
+///
+/// Myrinet switches never interpret payload bytes (and neither does the FM
+/// LCP — that is one of the paper's design rules), so the network layer
+/// carries [`Bytes`] blindly. `wire_bytes` is the size used for timing: the
+/// payload plus whatever header the messaging layer above prepends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// Bytes on the wire (payload + layer header), used for all timing.
+    pub wire_bytes: usize,
+    /// The actual payload carried end to end (may be shorter than
+    /// `wire_bytes`; never longer).
+    pub payload: Bytes,
+}
+
+impl Packet {
+    pub fn new(src: NodeId, dst: NodeId, payload: impl Into<Bytes>) -> Self {
+        let payload = payload.into();
+        Packet {
+            src,
+            dst,
+            wire_bytes: payload.len(),
+            payload,
+        }
+    }
+
+    /// Attach extra header bytes that occupy the wire but are not payload.
+    pub fn with_header_overhead(mut self, header_bytes: usize) -> Self {
+        self.wire_bytes = self.payload.len() + header_bytes;
+        self
+    }
+
+    /// A timing-only packet: `n` wire bytes, empty payload. Used by the
+    /// vestigial layer experiments (Figures 3 and 4) that never interpret
+    /// data.
+    pub fn timing_only(src: NodeId, dst: NodeId, n: usize) -> Self {
+        Packet {
+            src,
+            dst,
+            wire_bytes: n,
+            payload: Bytes::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_tracks_payload_by_default() {
+        let p = Packet::new(NodeId(0), NodeId(1), vec![1u8, 2, 3]);
+        assert_eq!(p.wire_bytes, 3);
+        assert_eq!(&p.payload[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn header_overhead_adds_wire_bytes_only() {
+        let p = Packet::new(NodeId(0), NodeId(1), vec![0u8; 10]).with_header_overhead(16);
+        assert_eq!(p.wire_bytes, 26);
+        assert_eq!(p.payload.len(), 10);
+    }
+
+    #[test]
+    fn timing_only_has_empty_payload() {
+        let p = Packet::timing_only(NodeId(2), NodeId(3), 600);
+        assert_eq!(p.wire_bytes, 600);
+        assert!(p.payload.is_empty());
+    }
+
+    #[test]
+    fn node_display() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+    }
+}

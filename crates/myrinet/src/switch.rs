@@ -1,0 +1,116 @@
+//! The 8-port Myrinet crossbar switch (cut-through).
+//!
+//! Real Myrinet is wormhole-routed with per-link STOP/GO backpressure. We
+//! model the common case — an uncongested cut-through hop of 550 ns — plus
+//! output-port serialization: a packet whose output port is still draining an
+//! earlier packet is delayed until that port frees. Input-side head-of-line
+//! blocking is approximated the same way (the blocked packet occupies its
+//! input until its output frees), which is exact for the paper's two-host
+//! experiments and a standard first-order model for the stress tests.
+
+use crate::consts::{wire_time, SWITCH_LATENCY};
+use fm_des::{Duration, Time};
+
+/// One crossbar switch.
+#[derive(Debug, Clone)]
+pub struct Switch {
+    /// Time each output port becomes free.
+    out_free: Vec<Time>,
+    /// Cut-through latency of the routing pipeline.
+    latency: Duration,
+}
+
+impl Switch {
+    /// A switch with `ports` ports (the paper's testbed used an 8-port
+    /// switch) and the standard 550 ns cut-through latency.
+    pub fn new(ports: usize) -> Self {
+        Switch::with_latency(ports, SWITCH_LATENCY)
+    }
+
+    pub fn with_latency(ports: usize, latency: Duration) -> Self {
+        assert!(ports >= 2, "a switch needs at least two ports");
+        Switch {
+            out_free: vec![Time::ZERO; ports],
+            latency,
+        }
+    }
+
+    pub fn ports(&self) -> usize {
+        self.out_free.len()
+    }
+
+    pub fn latency(&self) -> Duration {
+        self.latency
+    }
+
+    /// Route a packet of `n` wire bytes whose head arrives at an input port
+    /// at `head_in`. Returns `(head_out, tail_out)`: when the head and tail
+    /// leave the given output port.
+    ///
+    /// # Panics
+    /// Panics if `out_port` is out of range.
+    pub fn route(&mut self, head_in: Time, out_port: usize, n: usize) -> (Time, Time) {
+        let routed = head_in + self.latency;
+        // Cut-through: the head leaves as soon as it is routed *and* the
+        // output port is free of the previous packet's tail.
+        let head_out = routed.max(self.out_free[out_port]);
+        let tail_out = head_out + wire_time(n);
+        self.out_free[out_port] = tail_out;
+        (head_out, tail_out)
+    }
+
+    /// When the given output port next becomes free.
+    pub fn out_free_at(&self, out_port: usize) -> Time {
+        self.out_free[out_port]
+    }
+
+    /// Reset all occupancy (between independent experiment runs).
+    pub fn reset(&mut self) {
+        self.out_free.fill(Time::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncongested_hop_is_550ns_plus_wire() {
+        let mut sw = Switch::new(8);
+        let (h, t) = sw.route(Time::from_ns(100), 3, 128);
+        assert_eq!(h, Time::from_ns(650));
+        assert_eq!(t, Time::from_ns(650) + wire_time(128));
+    }
+
+    #[test]
+    fn same_port_serializes() {
+        let mut sw = Switch::new(8);
+        let (_, t1) = sw.route(Time::ZERO, 1, 400);
+        let (h2, t2) = sw.route(Time::ZERO, 1, 400);
+        assert_eq!(h2, t1, "second head waits for first tail");
+        assert_eq!(t2, t1 + wire_time(400));
+    }
+
+    #[test]
+    fn different_ports_are_independent() {
+        let mut sw = Switch::new(8);
+        let (h1, _) = sw.route(Time::ZERO, 1, 400);
+        let (h2, _) = sw.route(Time::ZERO, 2, 400);
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn reset_clears_occupancy() {
+        let mut sw = Switch::new(4);
+        sw.route(Time::ZERO, 0, 1000);
+        sw.reset();
+        assert_eq!(sw.out_free_at(0), Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_port_panics() {
+        let mut sw = Switch::new(4);
+        sw.route(Time::ZERO, 4, 10);
+    }
+}

@@ -1,0 +1,129 @@
+//! SBus arbitration: one transaction at a time, FIFO grant order.
+//!
+//! Both the host's PIO stores and the LANai's DMA engine contend for the
+//! same bus. The paper's experiments are mostly unidirectional so contention
+//! is light, but bidirectional ping-pong (every latency measurement!) does
+//! interleave the receive-side DMA with the next send's PIO, and the model
+//! must serialize them.
+
+use crate::consts::{dma_burst_time, pio_write_time, PIO_STATUS_READ};
+use fm_des::{Duration, Time};
+
+/// A bus transaction kind, with its data size where applicable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusOp {
+    /// Host programmed-I/O write of `n` bytes into LANai memory.
+    PioWrite(usize),
+    /// Host read of a LANai status/counter field.
+    StatusRead,
+    /// LANai-initiated DMA burst of `n` bytes (either direction).
+    DmaBurst(usize),
+}
+
+impl BusOp {
+    /// Bus occupancy of this transaction.
+    pub fn duration(self) -> Duration {
+        match self {
+            BusOp::PioWrite(n) => pio_write_time(n),
+            BusOp::StatusRead => PIO_STATUS_READ,
+            BusOp::DmaBurst(n) => dma_burst_time(n),
+        }
+    }
+}
+
+/// One node's SBus.
+#[derive(Debug, Clone)]
+pub struct SBus {
+    free_at: Time,
+    transactions: u64,
+    busy_total: Duration,
+}
+
+impl Default for SBus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SBus {
+    pub fn new() -> Self {
+        SBus {
+            free_at: Time::ZERO,
+            transactions: 0,
+            busy_total: Duration::ZERO,
+        }
+    }
+
+    /// Perform `op` starting no earlier than `now`; returns `(start, end)`.
+    /// The caller decides who blocks for the interval: the host CPU blocks on
+    /// PIO, the LANai's DMA engine blocks on bursts.
+    pub fn transact(&mut self, now: Time, op: BusOp) -> (Time, Time) {
+        let start = now.max(self.free_at);
+        let dur = op.duration();
+        let end = start + dur;
+        self.free_at = end;
+        self.transactions += 1;
+        self.busy_total += dur;
+        (start, end)
+    }
+
+    /// When the bus is next free.
+    pub fn free_at(&self) -> Time {
+        self.free_at
+    }
+
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Cumulative busy time (for utilization reporting).
+    pub fn busy_total(&self) -> Duration {
+        self.busy_total
+    }
+
+    pub fn reset(&mut self) {
+        self.free_at = Time::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consts::PIO_DWORD;
+
+    #[test]
+    fn transactions_serialize() {
+        let mut bus = SBus::new();
+        let (s1, e1) = bus.transact(Time::ZERO, BusOp::PioWrite(8));
+        let (s2, e2) = bus.transact(Time::ZERO, BusOp::PioWrite(8));
+        assert_eq!(s1, Time::ZERO);
+        assert_eq!(e1, Time::ZERO + PIO_DWORD);
+        assert_eq!(s2, e1, "second transaction waits");
+        assert_eq!(e2, e1 + PIO_DWORD);
+        assert_eq!(bus.transactions(), 2);
+    }
+
+    #[test]
+    fn idle_gap_not_counted_busy() {
+        let mut bus = SBus::new();
+        bus.transact(Time::ZERO, BusOp::StatusRead);
+        bus.transact(Time::from_us(100), BusOp::StatusRead);
+        assert_eq!(bus.busy_total(), PIO_STATUS_READ * 2);
+    }
+
+    #[test]
+    fn dma_and_pio_share_the_bus() {
+        let mut bus = SBus::new();
+        let (_, e1) = bus.transact(Time::ZERO, BusOp::DmaBurst(1024));
+        let (s2, _) = bus.transact(Time::ZERO, BusOp::PioWrite(8));
+        assert_eq!(s2, e1, "PIO must wait for the DMA burst to finish");
+    }
+
+    #[test]
+    fn zero_byte_ops_are_free_but_counted() {
+        let mut bus = SBus::new();
+        let (s, e) = bus.transact(Time::from_ns(5), BusOp::PioWrite(0));
+        assert_eq!(s, e);
+        assert_eq!(bus.transactions(), 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Calibration constants for the host and I/O bus, from the paper's
+//! Section 2 measurements of the SPARCstation 20 testbed.
+
+use fm_des::Duration;
+
+/// The paper's MB: 2^20 bytes.
+pub const MB: f64 = (1u64 << 20) as f64;
+
+/// PIO double-word (8-byte) write across the SBus. Calibrated so that the
+/// streaming rate is the paper's measured 23.9 MB/s maximum for
+/// processor-mediated transfers: 8 B / (23.9 * 2^20 B/s) = 319.2 ns.
+pub const PIO_DWORD: Duration = Duration(319_200);
+/// Bytes moved per PIO transaction.
+pub const PIO_DWORD_BYTES: usize = 8;
+
+/// Single-word (4-byte) PIO write — non-double-word stores get no burst
+/// benefit; the bus transaction cost is the same as a double word.
+pub const PIO_WORD: Duration = PIO_DWORD;
+
+/// Reading a LANai status field from the host: "~15 processor cycles"
+/// (Section 2) at 50 MHz = 300 ns. This is the unit cost of host<->LANai
+/// synchronization and the reason FM polls a single counter.
+pub const PIO_STATUS_READ: Duration = Duration(300_000);
+
+/// SBus DMA burst throughput in MB/s (paper: 40-54 MB/s for large
+/// transfers; the messaging layers aggregate into large bursts, so we use
+/// the top of the range).
+pub const DMA_MBS: f64 = 54.0;
+/// Picoseconds per byte of SBus DMA burst.
+pub const DMA_PS_PER_BYTE: u64 = (1e12 / (DMA_MBS * MB)) as u64; // ~17 660 ps
+
+/// Host CPU: 50 MHz SuperSPARC, nominal one instruction per cycle on the
+/// messaging fast path = 20 ns per instruction.
+pub const HOST_INSTR: Duration = Duration(20_000);
+
+/// Host memory-to-memory copy: bounded by the 60 MB/s write bandwidth
+/// (Section 2): 15.9 ns/byte.
+pub const MEMCPY_PS_PER_BYTE: u64 = (1e12 / (60.0 * MB)) as u64; // ~15 895 ps
+/// Fixed memcpy call overhead (call, setup, loop prologue).
+pub const MEMCPY_SETUP: Duration = Duration(200_000);
+
+/// Time for a PIO transfer of `n` bytes (double-word granularity: partial
+/// trailing words still cost a full bus transaction).
+#[inline]
+pub fn pio_write_time(n: usize) -> Duration {
+    PIO_DWORD * (n.div_ceil(PIO_DWORD_BYTES) as u64)
+}
+
+/// Time for the data phase of an SBus DMA burst of `n` bytes (the 320 ns
+/// engine setup is charged by the LANai model).
+#[inline]
+pub fn dma_burst_time(n: usize) -> Duration {
+    Duration(n as u64 * DMA_PS_PER_BYTE)
+}
+
+/// Host memcpy of `n` bytes.
+#[inline]
+pub fn memcpy_time(n: usize) -> Duration {
+    if n == 0 {
+        Duration::ZERO
+    } else {
+        MEMCPY_SETUP + Duration(n as u64 * MEMCPY_PS_PER_BYTE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pio_streaming_rate_is_23_9_mbs() {
+        let n = 1 << 20; // 1 MB
+        let t = pio_write_time(n);
+        let mbs = n as f64 / t.as_secs_f64() / MB;
+        assert!((mbs - 23.9).abs() < 0.05, "{mbs}");
+    }
+
+    #[test]
+    fn pio_rounds_up_to_double_words() {
+        assert_eq!(pio_write_time(1), PIO_DWORD);
+        assert_eq!(pio_write_time(8), PIO_DWORD);
+        assert_eq!(pio_write_time(9), PIO_DWORD * 2);
+        assert_eq!(pio_write_time(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn dma_rate_in_paper_range() {
+        let n = 1 << 20;
+        let t = dma_burst_time(n);
+        let mbs = n as f64 / t.as_secs_f64() / MB;
+        assert!((40.0..=54.1).contains(&mbs), "{mbs}");
+    }
+
+    #[test]
+    fn dma_beats_pio_for_large_transfers() {
+        assert!(dma_burst_time(4096) < pio_write_time(4096));
+    }
+
+    #[test]
+    fn memcpy_rate_near_60_mbs() {
+        let n = 1 << 20;
+        let t = memcpy_time(n);
+        let mbs = n as f64 / t.as_secs_f64() / MB;
+        assert!((55.0..=61.0).contains(&mbs), "{mbs}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Host CPU cost calculator.
+//!
+//! Messaging-layer host software is charged in instructions (20 ns each at
+//! 50 MHz) via named budgets that live in `fm-testbed::calib` next to the
+//! Table-4 rows they are calibrated against. This type just converts budgets
+//! to time and tracks a "busy until" horizon so host work serializes with
+//! itself (a single-threaded host program).
+
+use crate::consts::{memcpy_time, HOST_INSTR};
+use fm_des::{Duration, Time};
+
+/// One node's host processor.
+#[derive(Debug, Clone)]
+pub struct HostCpu {
+    free_at: Time,
+    busy_total: Duration,
+}
+
+impl Default for HostCpu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HostCpu {
+    pub fn new() -> Self {
+        HostCpu {
+            free_at: Time::ZERO,
+            busy_total: Duration::ZERO,
+        }
+    }
+
+    /// Time to execute `n` fast-path instructions.
+    #[inline]
+    pub fn instr(n: u64) -> Duration {
+        HOST_INSTR * n
+    }
+
+    /// Time for a host memory-to-memory copy of `n` bytes.
+    #[inline]
+    pub fn memcpy(n: usize) -> Duration {
+        memcpy_time(n)
+    }
+
+    /// Run a compute burst of `dur` starting no earlier than `now`;
+    /// returns completion time. The CPU serializes with its own earlier
+    /// work (it is a single thread of control).
+    pub fn run(&mut self, now: Time, dur: Duration) -> Time {
+        let start = now.max(self.free_at);
+        let end = start + dur;
+        self.free_at = end;
+        self.busy_total += dur;
+        end
+    }
+
+    /// Mark the CPU blocked until `until` (e.g. spinning on a PIO read or
+    /// stalled behind its own store buffer during PIO streaming).
+    pub fn block_until(&mut self, until: Time) {
+        if until > self.free_at {
+            self.free_at = until;
+        }
+    }
+
+    pub fn free_at(&self) -> Time {
+        self.free_at
+    }
+
+    pub fn busy_total(&self) -> Duration {
+        self.busy_total
+    }
+
+    pub fn reset(&mut self) {
+        self.free_at = Time::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_cost_is_20ns() {
+        assert_eq!(HostCpu::instr(1), Duration::from_ns(20));
+        assert_eq!(HostCpu::instr(15), Duration::from_ns(300));
+    }
+
+    #[test]
+    fn work_serializes() {
+        let mut cpu = HostCpu::new();
+        let e1 = cpu.run(Time::ZERO, Duration::from_ns(100));
+        let e2 = cpu.run(Time::ZERO, Duration::from_ns(50));
+        assert_eq!(e1, Time::from_ns(100));
+        assert_eq!(e2, Time::from_ns(150));
+        assert_eq!(cpu.busy_total(), Duration::from_ns(150));
+    }
+
+    #[test]
+    fn block_until_only_moves_forward() {
+        let mut cpu = HostCpu::new();
+        cpu.block_until(Time::from_ns(80));
+        cpu.block_until(Time::from_ns(40)); // no-op
+        assert_eq!(cpu.free_at(), Time::from_ns(80));
+    }
+
+    #[test]
+    fn memcpy_zero_is_free() {
+        assert_eq!(HostCpu::memcpy(0), Duration::ZERO);
+        assert!(HostCpu::memcpy(64) > Duration::ZERO);
+    }
+}

@@ -1,0 +1,29 @@
+//! # fm-sbus — the workstation side of the testbed
+//!
+//! Models the parts of a 1995 SPARCstation that the paper identifies as
+//! performance-critical (Section 2, "Workstation Features"):
+//!
+//! * the **SBus**, the I/O bus between host memory and the Myrinet
+//!   interface. Its asymmetry is the paper's central hardware constraint:
+//!   processor-mediated (PIO) double-word writes top out at **23.9 MB/s**
+//!   while LANai-initiated DMA bursts reach **40–54 MB/s**, but DMA may only
+//!   target pinned kernel memory (the *DMA region*) and must be set up;
+//! * the **host CPU** (50 MHz SuperSPARC-class), charged per instruction for
+//!   messaging-layer bookkeeping;
+//! * **host memory** (60 MB/s writes / 80 MB/s reads), charged for
+//!   memory-to-memory copies such as all-DMA's staging copy;
+//! * the ~**15-cycle** cost of reading a LANai status location across the
+//!   SBus, which makes synchronization between host and LANai expensive —
+//!   the reason FM minimizes it to one counter per direction.
+//!
+//! [`SBus`] is an arbitration model (one transaction at a time, FIFO);
+//! [`HostCpu`] is a pure cost calculator. Neither generates events — the
+//! testbed composes them with the DES engine.
+
+pub mod bus;
+pub mod consts;
+pub mod host;
+
+pub use bus::{BusOp, SBus};
+pub use consts::*;
+pub use host::HostCpu;

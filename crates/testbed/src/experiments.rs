@@ -1,0 +1,94 @@
+//! Sweeps over packet size — the raw material of every figure.
+
+use fm_des::Duration;
+
+use crate::sim::{run_pingpong, run_stream};
+use crate::{Layer, TestbedConfig};
+
+/// The packet sizes the figures sweep (4..600 bytes).
+pub const FIGURE_SIZES: [usize; 17] = [
+    4, 8, 16, 24, 32, 48, 64, 96, 128, 160, 192, 256, 320, 384, 448, 512, 600,
+];
+
+/// Ping-pong rounds per latency point (paper Section 4.1: 50).
+pub const PINGPONG_ROUNDS: usize = 50;
+
+/// Packets per bandwidth point (paper Section 4.1: 65 535). The sweeps
+/// default to a smaller count that reaches the identical steady state; the
+/// bench binaries use the paper's full count.
+pub const PAPER_STREAM_COUNT: usize = 65_535;
+
+/// One latency measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyPoint {
+    pub n: usize,
+    pub one_way: Duration,
+}
+
+/// One bandwidth measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct BandwidthPoint {
+    pub n: usize,
+    pub mbs: f64,
+}
+
+/// One-way latency across packet sizes.
+pub fn latency_sweep(
+    layer: Layer,
+    cfg: &TestbedConfig,
+    sizes: &[usize],
+    rounds: usize,
+) -> Vec<LatencyPoint> {
+    sizes
+        .iter()
+        .map(|&n| LatencyPoint {
+            n,
+            one_way: run_pingpong(layer, cfg, n, rounds),
+        })
+        .collect()
+}
+
+/// Streaming bandwidth across packet sizes.
+pub fn bandwidth_sweep(
+    layer: Layer,
+    cfg: &TestbedConfig,
+    sizes: &[usize],
+    count: usize,
+) -> Vec<BandwidthPoint> {
+    sizes
+        .iter()
+        .map(|&n| BandwidthPoint {
+            n,
+            mbs: run_stream(layer, cfg, n, count).mbs,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_sweep_is_monotone_in_size() {
+        let cfg = TestbedConfig::default();
+        let pts = latency_sweep(Layer::LanaiStreamed, &cfg, &[16, 128, 512], 10);
+        assert!(pts[0].one_way < pts[1].one_way);
+        assert!(pts[1].one_way < pts[2].one_way);
+    }
+
+    #[test]
+    fn bandwidth_sweep_is_monotone_in_size() {
+        let cfg = TestbedConfig::default();
+        let pts = bandwidth_sweep(Layer::FullFm, &cfg, &[16, 128, 512], 1500);
+        assert!(pts[0].mbs < pts[1].mbs);
+        assert!(pts[1].mbs < pts[2].mbs);
+    }
+
+    #[test]
+    fn figure_sizes_sorted_unique() {
+        let mut s = FIGURE_SIZES.to_vec();
+        s.dedup();
+        assert_eq!(s.len(), FIGURE_SIZES.len());
+        assert!(FIGURE_SIZES.windows(2).all(|w| w[0] < w[1]));
+    }
+}

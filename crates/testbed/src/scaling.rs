@@ -1,0 +1,250 @@
+//! Switch-scaling experiments — beyond the paper's two-node testbed.
+//!
+//! The paper measures one pair of workstations on an 8-port switch and
+//! argues the approach scales; these experiments exercise the switch model
+//! with more of its ports occupied:
+//!
+//! * [`parallel_pairs`] — k disjoint sender/receiver pairs stream
+//!   simultaneously. The crossbar is non-blocking for disjoint ports, so
+//!   aggregate bandwidth should scale ~linearly until the port count runs
+//!   out.
+//! * [`incast`] — k senders stream at one receiver. The receiver's input
+//!   port serializes the wire, and the receiving LCP serializes the
+//!   processing: per-sender goodput should drop as ~1/k while the total
+//!   stays near the single-stream rate, and arbitration should be fair.
+//!
+//! Both run the LANai-level streamed layer (the network-facing part of the
+//! stack) driven by the event engine, since multiple independent senders
+//! make arrival interleavings state-dependent.
+
+use fm_des::{Engine, Time};
+use fm_lanai::{DmaEngine, LanaiChip, LcpCosts};
+use fm_myrinet::{Network, NetworkConfig, NodeId};
+
+/// Result of a multi-flow run.
+#[derive(Debug, Clone)]
+pub struct ScalingReport {
+    /// Flows (sender count).
+    pub flows: usize,
+    /// Packet payload bytes.
+    pub n: usize,
+    /// Per-flow delivered bandwidth, MB/s (2^20), indexed by sender.
+    pub per_flow_mbs: Vec<f64>,
+    /// Aggregate delivered bandwidth, MB/s.
+    pub total_mbs: f64,
+    /// Jain's fairness index over the per-flow bandwidths (1.0 = fair).
+    pub fairness: f64,
+}
+
+fn jain(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let s: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        1.0
+    } else {
+        s * s / (xs.len() as f64 * sq)
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// Sender `i` is ready to push its next packet.
+    SenderReady(usize),
+    /// Packet from sender `i` fully arrived at its receiver.
+    Arrive {
+        sender: usize,
+        tail: Time,
+    },
+}
+
+/// Common driver: `senders[i]` streams `count` packets of `n` bytes to
+/// `dest_of(i)`; returns per-sender completion statistics.
+fn run_flows(
+    flows: usize,
+    n: usize,
+    count: usize,
+    net_cfg: NetworkConfig,
+    dest_of: impl Fn(usize) -> NodeId,
+    src_of: impl Fn(usize) -> NodeId,
+) -> ScalingReport {
+    let lcp = LcpCosts::streamed();
+    let mut net = Network::new(net_cfg);
+    let mut send_chips: Vec<LanaiChip> = (0..flows).map(|_| LanaiChip::new()).collect();
+    // One receiver chip per distinct destination node.
+    let mut recv_chips: std::collections::HashMap<u16, LanaiChip> = Default::default();
+    for i in 0..flows {
+        recv_chips.entry(dest_of(i).0).or_insert_with(LanaiChip::new);
+    }
+
+    let mut sent = vec![0usize; flows];
+    let mut delivered = vec![0usize; flows];
+    let mut last_delivery = vec![Time::ZERO; flows];
+
+    let mut eng: Engine<Ev> = Engine::new();
+    for i in 0..flows {
+        eng.schedule_at(Time::ZERO, Ev::SenderReady(i));
+    }
+
+    while let Some((now, ev)) = eng.pop() {
+        match ev {
+            Ev::SenderReady(i) => {
+                if sent[i] >= count {
+                    continue;
+                }
+                let chip = &mut send_chips[i];
+                let instr = if sent[i] == 0 {
+                    lcp.send_path
+                } else {
+                    lcp.send_stream_instr()
+                };
+                let exec = chip.exec(now.max(chip.proc_free_at()), instr);
+                let (dstart, dend) = chip.start_dma(exec, DmaEngine::NetOut, n);
+                chip.block_until(dend);
+                sent[i] += 1;
+                let d = net.inject(dstart, src_of(i), dest_of(i), n);
+                eng.schedule_at(d.head_at, Ev::Arrive { sender: i, tail: d.tail_at });
+                eng.schedule_at(dend, Ev::SenderReady(i));
+            }
+            Ev::Arrive { sender, tail } => {
+                // The destination's LCP services arrivals in order.
+                let chip = recv_chips
+                    .get_mut(&dest_of(sender).0)
+                    .expect("receiver chip exists");
+                let instr = lcp.recv_stream_instr();
+                let exec = chip.exec(now.max(chip.proc_free_at()), instr);
+                let (_, rend) = chip.start_dma(exec, DmaEngine::NetIn, n);
+                let complete = rend.max(tail);
+                chip.block_until(complete);
+                delivered[sender] += 1;
+                last_delivery[sender] = complete;
+            }
+        }
+    }
+
+    for i in 0..flows {
+        assert_eq!(delivered[i], count, "flow {i} lost packets");
+    }
+    let per_flow_mbs: Vec<f64> = (0..flows)
+        .map(|i| {
+            let elapsed = last_delivery[i].since(Time::ZERO);
+            (n as f64 * count as f64) / elapsed.as_secs_f64() / (1u64 << 20) as f64
+        })
+        .collect();
+    let end = last_delivery.iter().copied().max().unwrap_or(Time::ZERO);
+    let total_mbs = (n as f64 * count as f64 * flows as f64)
+        / end.since(Time::ZERO).as_secs_f64()
+        / (1u64 << 20) as f64;
+    ScalingReport {
+        flows,
+        n,
+        fairness: jain(&per_flow_mbs),
+        per_flow_mbs,
+        total_mbs,
+    }
+}
+
+/// k disjoint pairs: senders are nodes `0..k`, receivers nodes `k..2k`;
+/// all ports distinct, so the crossbar should not block.
+pub fn parallel_pairs(k: usize, n: usize, count: usize) -> ScalingReport {
+    assert!(k >= 1);
+    run_flows(
+        k,
+        n,
+        count,
+        NetworkConfig::switched(2 * k),
+        move |i| NodeId((k + i) as u16),
+        |i| NodeId(i as u16),
+    )
+}
+
+/// k senders (nodes `1..=k`) stream at node 0.
+pub fn incast(k: usize, n: usize, count: usize) -> ScalingReport {
+    assert!(k >= 1);
+    run_flows(
+        k,
+        n,
+        count,
+        NetworkConfig::switched(k + 1),
+        |_| NodeId(0),
+        |i| NodeId((i + 1) as u16),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_pair_matches_two_node_stream() {
+        let pairs = parallel_pairs(1, 128, 2000);
+        let two_node = crate::sim::run_stream(
+            crate::Layer::LanaiStreamed,
+            &crate::TestbedConfig::default(),
+            128,
+            2000,
+        );
+        let rel = (pairs.total_mbs - two_node.mbs).abs() / two_node.mbs;
+        assert!(
+            rel < 0.02,
+            "event-driven single pair {} vs trajectory {}",
+            pairs.total_mbs,
+            two_node.mbs
+        );
+    }
+
+    #[test]
+    fn disjoint_pairs_scale_linearly() {
+        let one = parallel_pairs(1, 256, 1500);
+        let four = parallel_pairs(4, 256, 1500);
+        assert!(
+            four.total_mbs > 3.8 * one.total_mbs,
+            "crossbar must not block disjoint pairs: {} vs 4x{}",
+            four.total_mbs,
+            one.total_mbs
+        );
+        assert!(four.fairness > 0.999, "fairness {}", four.fairness);
+    }
+
+    #[test]
+    fn incast_shares_the_receiver_fairly() {
+        let solo = incast(1, 256, 1200);
+        let four = incast(4, 256, 1200);
+        // Total bounded by the single receiver...
+        assert!(
+            four.total_mbs <= 1.05 * solo.total_mbs,
+            "incast total {} must not exceed one receiver's rate {}",
+            four.total_mbs,
+            solo.total_mbs
+        );
+        // ...and close to it (the receiver stays busy).
+        assert!(
+            four.total_mbs > 0.9 * solo.total_mbs,
+            "incast should keep the receiver saturated: {} vs {}",
+            four.total_mbs,
+            solo.total_mbs
+        );
+        // Per-flow roughly 1/4 each.
+        for f in &four.per_flow_mbs {
+            assert!(
+                (0.8..1.3).contains(&(f / (solo.total_mbs / 4.0))),
+                "per-flow {} vs expected {}",
+                f,
+                solo.total_mbs / 4.0
+            );
+        }
+        assert!(four.fairness > 0.98, "fairness {}", four.fairness);
+    }
+
+    #[test]
+    fn jain_index_properties() {
+        assert_eq!(jain(&[]), 1.0);
+        assert_eq!(jain(&[5.0]), 1.0);
+        assert!((jain(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        // One flow hogging: index tends to 1/n.
+        let skew = jain(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((skew - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,48 @@
+//! Drive the calibrated 1995 testbed directly: sweep the complete FM layer
+//! and print its latency/bandwidth profile — a miniature of the paper's
+//! Figure 8 without the full bench harness.
+//!
+//! ```sh
+//! cargo run --release --example simulated_cluster
+//! ```
+
+use fm_repro::fm_metrics::Table;
+use fm_repro::fm_testbed::{run_pingpong, run_stream, Layer, TestbedConfig};
+
+fn main() {
+    let cfg = TestbedConfig::default();
+    let mut t = Table::new([
+        "packet bytes",
+        "one-way latency (us)",
+        "bandwidth (MB/s)",
+        "ack frames",
+        "delivery bursts",
+    ])
+    .with_title("Fast Messages 1.0 on the simulated SPARCstation/Myrinet testbed");
+
+    for n in [16usize, 32, 64, 128, 256, 512] {
+        let lat = run_pingpong(Layer::FullFm, &cfg, n, 50);
+        let stream = run_stream(Layer::FullFm, &cfg, n, 10_000);
+        t.row([
+            n.to_string(),
+            format!("{:.2}", lat.as_us_f64()),
+            format!("{:.2}", stream.mbs),
+            stream.ack_frames.to_string(),
+            stream.delivery_bursts.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // The ablation story in one line each.
+    println!("the same testbed, layer by layer (128 B packets):");
+    for layer in Layer::ALL {
+        let lat = run_pingpong(layer, &cfg, 128, 50);
+        let bw = run_stream(layer, &cfg, 128, 10_000).mbs;
+        println!(
+            "  {:<44} {:>7.2} us   {:>6.2} MB/s",
+            layer.name(),
+            lat.as_us_f64(),
+            bw
+        );
+    }
+}

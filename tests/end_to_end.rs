@@ -1,0 +1,115 @@
+//! Cross-crate integration: the simulated testbed, the analytic model and
+//! the comparison baseline must tell one consistent story — the paper's
+//! story.
+
+use fm_myrinet::analytic;
+use fm_myrinet_api::{run_api_pingpong, run_api_stream, ApiVariant};
+use fm_testbed::{run_pingpong, run_stream, Layer, TestbedConfig};
+
+fn cfg() -> TestbedConfig {
+    TestbedConfig::default()
+}
+
+/// Table 4's qualitative ordering: every row must respect the paper's
+/// ranking of startup overheads.
+#[test]
+fn table4_latency_ordering() {
+    let lat = |l: Layer| run_pingpong(l, &cfg(), 16, 20).as_ns_f64();
+    let streamed = lat(Layer::LanaiStreamed);
+    let baseline = lat(Layer::LanaiBaseline);
+    let hybrid = lat(Layer::Hybrid);
+    let bm = lat(Layer::HybridBufMgmt);
+    let fm = lat(Layer::FullFm);
+    let sw = lat(Layer::HybridBufMgmtSwitch);
+    let fmsw = lat(Layer::FullFmSwitch);
+    let alldma = lat(Layer::AllDma);
+
+    assert!(streamed < baseline, "streaming wins");
+    assert!(baseline < hybrid, "host coupling costs");
+    assert!(hybrid < bm, "buffer management costs a little");
+    assert!(bm < fm, "flow control costs a little");
+    assert!(fm < sw, "switch() costs a lot");
+    assert!(sw < fmsw, "fc on top of switch()");
+    assert!(hybrid < alldma, "hybrid beats all-DMA on latency");
+}
+
+/// The bandwidth rankings of Figures 3/4/8.
+#[test]
+fn bandwidth_orderings() {
+    let bw = |l: Layer, n: usize| run_stream(l, &cfg(), n, 3000).mbs;
+    // LANai-only beats every host-coupled layer.
+    assert!(bw(Layer::LanaiStreamed, 512) > bw(Layer::AllDma, 512));
+    // all-DMA beats hybrid at 512 B, loses at 32 B.
+    assert!(bw(Layer::AllDma, 512) > bw(Layer::Hybrid, 512));
+    assert!(bw(Layer::Hybrid, 32) > bw(Layer::AllDma, 32));
+    // switch() halves short-message bandwidth.
+    let plain = bw(Layer::HybridBufMgmt, 64);
+    let with_switch = bw(Layer::HybridBufMgmtSwitch, 64);
+    assert!(
+        with_switch < 0.75 * plain,
+        "switch() must hurt short messages badly: {with_switch} vs {plain}"
+    );
+}
+
+/// The headline: FM's usable bandwidth for short messages is orders of
+/// magnitude beyond the vendor API's.
+#[test]
+fn fm_vs_api_half_power_gap() {
+    // At 128 B, FM delivers over 10 MB/s; the API under 2.
+    let fm = run_stream(Layer::FullFm, &cfg(), 128, 3000).mbs;
+    let api = run_api_stream(ApiVariant::SendImm, 128, 150);
+    assert!(fm > 10.0, "FM at 128B: {fm}");
+    assert!(api < 2.0, "API at 128B: {api}");
+    assert!(fm / api > 8.0, "gap {fm}/{api}");
+    // Latency gap: an order of magnitude or more.
+    let fm_l = run_pingpong(Layer::FullFm, &cfg(), 16, 20).as_us_f64();
+    let api_l = run_api_pingpong(ApiVariant::SendImm, 16, 20).as_us_f64();
+    assert!(api_l / fm_l > 10.0, "latency gap {api_l}/{fm_l}");
+}
+
+/// Simulated LANai layers respect the Appendix-A bounds at every size.
+#[test]
+fn analytic_model_bounds_simulation() {
+    for n in [8usize, 32, 128, 512] {
+        let bound_lat = analytic::latency_ns(n);
+        let bound_bw = analytic::bandwidth_mbs(n);
+        for layer in [Layer::LanaiBaseline, Layer::LanaiStreamed] {
+            assert!(run_pingpong(layer, &cfg(), n, 10).as_ns_f64() > bound_lat);
+            assert!(run_stream(layer, &cfg(), n, 1500).mbs < bound_bw);
+        }
+    }
+}
+
+/// The OC-3 claim from the abstract: FM's delivered bandwidth at 512 B
+/// exceeds OC-3 ATM's 19.4 MB/s physical link rate.
+#[test]
+fn fm_beats_oc3_at_512_bytes() {
+    let bw = run_stream(Layer::FullFm, &cfg(), 512, 10_000).mbs;
+    assert!(bw > 19.4, "512B FM bandwidth {bw} MB/s must beat OC-3");
+}
+
+/// The two hardware crates agree on the DMA burst rate (the LANai's host
+/// engine moves data at the SBus burst rate).
+#[test]
+fn dma_rate_consistent_across_crates() {
+    use fm_des::Time;
+    use fm_lanai::{DmaEngine, LanaiChip};
+    let n = 4096;
+    let mut chip = LanaiChip::new();
+    let (start, end) = chip.start_dma(Time::ZERO, DmaEngine::Host, n);
+    assert_eq!(end.since(start), fm_sbus::consts::dma_burst_time(n));
+}
+
+/// Everything in the evaluation is bit-deterministic.
+#[test]
+fn whole_evaluation_is_deterministic() {
+    let a = run_stream(Layer::FullFm, &cfg(), 128, 2000);
+    let b = run_stream(Layer::FullFm, &cfg(), 128, 2000);
+    assert_eq!(a.elapsed, b.elapsed);
+    let la = run_pingpong(Layer::AllDma, &cfg(), 96, 30);
+    let lb = run_pingpong(Layer::AllDma, &cfg(), 96, 30);
+    assert_eq!(la, lb);
+    let xa = run_api_stream(ApiVariant::Send, 256, 50);
+    let xb = run_api_stream(ApiVariant::Send, 256, 50);
+    assert_eq!(xa, xb);
+}

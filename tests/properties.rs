@@ -1,0 +1,277 @@
+//! Property-based tests (proptest) on the protocol's core data structures
+//! and invariants, spanning crates.
+
+use bytes::Bytes;
+use fm_core::frame::{FrameKind, PiggyAcks, WireFrame};
+use fm_core::queues::{CounterPair, PacketRing, RejectQueue};
+use fm_core::seg::{fragment, Reassembly, FRAG_DATA};
+use fm_core::{HandlerId, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    /// Frame codec: encode/decode is the identity for every valid frame.
+    #[test]
+    fn codec_roundtrip(
+        kind in 0u8..3,
+        src in 0u16..1024,
+        dst in 0u16..1024,
+        handler in any::<u16>(),
+        slot in any::<u16>(),
+        seq in any::<u32>(),
+        piggy in proptest::collection::vec(any::<u16>(), 0..=4),
+        payload in proptest::collection::vec(any::<u8>(), 0..=128),
+    ) {
+        let mut f = WireFrame::data(
+            NodeId(src), NodeId(dst), HandlerId(handler), slot, seq,
+            Bytes::from(payload),
+        );
+        f.kind = match kind { 0 => FrameKind::Data, 1 => FrameKind::Return, _ => FrameKind::Ack };
+        f.piggy = PiggyAcks::from_slice(&piggy);
+        let decoded = WireFrame::decode(&f.encode()).expect("own encoding decodes");
+        prop_assert_eq!(decoded, f);
+    }
+
+    /// Decoding arbitrary bytes never panics — it returns Ok or a typed
+    /// error.
+    #[test]
+    fn codec_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = WireFrame::decode(&Bytes::from(bytes));
+    }
+
+    /// Truncating a valid encoding is always detected.
+    #[test]
+    fn codec_detects_truncation(
+        payload in proptest::collection::vec(any::<u8>(), 1..=128),
+        cut in 1usize..10,
+    ) {
+        let f = WireFrame::data(NodeId(0), NodeId(1), HandlerId(2), 3, 4, Bytes::from(payload));
+        let enc = f.encode();
+        let cut = cut.min(enc.len());
+        let short = enc.slice(..enc.len() - cut);
+        prop_assert!(WireFrame::decode(&short).is_err());
+    }
+
+    /// Segmentation: fragment then reassemble in *any* order yields the
+    /// original message.
+    #[test]
+    fn seg_roundtrip_any_order(
+        data in proptest::collection::vec(any::<u8>(), 0..2000),
+        seed in any::<u64>(),
+    ) {
+        let frags = fragment(7, HandlerId(3), &data);
+        prop_assert!(frags.iter().all(|f| f.len() <= 128));
+        prop_assert_eq!(frags.len(), data.len().div_ceil(FRAG_DATA).max(1));
+        let mut order: Vec<usize> = (0..frags.len()).collect();
+        let mut rng = fm_des::rng::Xoshiro256::seed_from_u64(seed);
+        rng.shuffle(&mut order);
+        let mut r = Reassembly::new();
+        let mut out = None;
+        for (i, &idx) in order.iter().enumerate() {
+            let res = r.on_fragment(NodeId(5), &frags[idx]).expect("valid fragment");
+            if i + 1 < order.len() {
+                prop_assert!(res.is_none(), "completed early");
+            } else {
+                out = res;
+            }
+        }
+        prop_assert_eq!(out, Some((HandlerId(3), data)));
+    }
+
+    /// CounterPair occupancy invariant holds under arbitrary operation
+    /// sequences, and the ring it coordinates behaves as a FIFO.
+    #[test]
+    fn ring_matches_vecdeque_model(
+        depth in 1usize..16,
+        ops in proptest::collection::vec(any::<bool>(), 0..500),
+    ) {
+        let mut ring: PacketRing<u32> = PacketRing::new(depth);
+        let mut model: std::collections::VecDeque<u32> = Default::default();
+        let mut next = 0u32;
+        for push in ops {
+            if push {
+                let ok = ring.push(next).is_ok();
+                if model.len() < depth {
+                    prop_assert!(ok);
+                    model.push_back(next);
+                    next += 1;
+                } else {
+                    prop_assert!(!ok, "ring accepted beyond depth");
+                }
+            } else {
+                prop_assert_eq!(ring.pop(), model.pop_front());
+            }
+            prop_assert_eq!(ring.len(), model.len());
+            let c: CounterPair = ring.counters();
+            prop_assert!(c.occupancy() <= depth as u64);
+        }
+        // Drain and compare the tails.
+        while let Some(v) = ring.pop() {
+            prop_assert_eq!(Some(v), model.pop_front());
+        }
+        prop_assert!(model.is_empty());
+    }
+
+    /// RejectQueue: under arbitrary reserve/ack/bounce/retransmit traffic,
+    /// outstanding never exceeds capacity, acks only succeed for in-flight
+    /// slots, and every bounced payload is retransmitted intact.
+    #[test]
+    fn reject_queue_model(
+        cap in 1usize..12,
+        ops in proptest::collection::vec(0u8..4, 0..400),
+    ) {
+        let mut q: RejectQueue<u32> = RejectQueue::new(cap);
+        let mut in_flight: Vec<u16> = Vec::new();
+        let mut returned: std::collections::VecDeque<(u16, u32)> = Default::default();
+        let mut tag = 0u32;
+        for op in ops {
+            match op {
+                0 => {
+                    // reserve
+                    match q.reserve() {
+                        Some(slot) => {
+                            prop_assert!(in_flight.len() + returned.len() < cap);
+                            in_flight.push(slot);
+                        }
+                        None => prop_assert_eq!(in_flight.len() + returned.len(), cap),
+                    }
+                }
+                1 => {
+                    // ack the oldest in-flight
+                    if let Some(slot) = in_flight.first().copied() {
+                        prop_assert!(q.ack(slot));
+                        in_flight.remove(0);
+                    } else {
+                        prop_assert!(!q.ack(0) || !in_flight.is_empty());
+                    }
+                }
+                2 => {
+                    // bounce the newest in-flight
+                    if let Some(slot) = in_flight.pop() {
+                        prop_assert!(q.bounce(slot, tag));
+                        returned.push_back((slot, tag));
+                        tag += 1;
+                    }
+                }
+                _ => {
+                    // retransmit
+                    match q.pop_retransmit() {
+                        Some((slot, payload)) => {
+                            let (eslot, epayload) =
+                                returned.pop_front().expect("model has a returned frame");
+                            prop_assert_eq!((slot, payload), (eslot, epayload));
+                            in_flight.push(slot);
+                        }
+                        None => prop_assert!(returned.is_empty()),
+                    }
+                }
+            }
+            prop_assert_eq!(q.outstanding(), in_flight.len() + returned.len());
+            prop_assert_eq!(q.in_flight(), in_flight.len());
+            prop_assert_eq!(q.returned(), returned.len());
+        }
+    }
+
+    /// The trajectory simulator is monotone: more bytes never arrive
+    /// earlier (latency), and never raise per-packet time below the wire
+    /// bound.
+    #[test]
+    fn sim_latency_monotone(a in 1usize..=300, b in 301usize..=600) {
+        use fm_testbed::{run_pingpong, Layer, TestbedConfig};
+        let cfg = TestbedConfig::default();
+        for layer in [Layer::LanaiStreamed, Layer::Hybrid, Layer::FullFm] {
+            let la = run_pingpong(layer, &cfg, a, 3);
+            let lb = run_pingpong(layer, &cfg, b, 3);
+            prop_assert!(la <= lb, "{layer:?}: l({a})={la} > l({b})={lb}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stream and MPI-matching reordering properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// MPI matching: any arrival permutation of per-source-sequenced
+    /// envelopes becomes matchable in exactly the original per-source
+    /// order.
+    #[test]
+    fn match_queue_restores_fifo(
+        counts in proptest::collection::vec(1usize..20, 1..4),
+        seed in any::<u64>(),
+    ) {
+        use fm_mpi::{MatchQueue, Envelope, Tag};
+        // Build per-source sequenced streams, then shuffle arrivals.
+        let mut arrivals = Vec::new();
+        for (src, &count) in counts.iter().enumerate() {
+            for seq in 0..count as u32 {
+                arrivals.push(Envelope {
+                    tag: Tag(7),
+                    seq,
+                    src: src as u16,
+                    data: vec![src as u8, seq as u8],
+                });
+            }
+        }
+        let mut rng = fm_des::rng::Xoshiro256::seed_from_u64(seed);
+        rng.shuffle(&mut arrivals);
+        let mut q = MatchQueue::new();
+        for env in arrivals {
+            q.push(env);
+        }
+        // Everything must be matchable now, in per-source seq order.
+        let mut last_seq = vec![-1i64; counts.len()];
+        let total: usize = counts.iter().sum();
+        for _ in 0..total {
+            let env = q.take(None, None).expect("all contiguous");
+            let s = env.src as usize;
+            prop_assert_eq!(env.seq as i64, last_seq[s] + 1, "src {} out of order", s);
+            last_seq[s] = env.seq as i64;
+        }
+        prop_assert!(q.take(None, None).is_none());
+        prop_assert_eq!(q.parked_len(), 0);
+    }
+
+    /// Chain topology: latency grows monotonically with hop distance, and
+    /// every delivery respects the pure wire lower bound.
+    #[test]
+    fn chain_network_hop_monotonicity(n in 0usize..600, hps in 1usize..4) {
+        use fm_myrinet::ChainNetwork;
+        use fm_myrinet::consts::{wire_time, SWITCH_LATENCY};
+        use fm_des::Time;
+        let hosts = hps * 4;
+        let mut prev = None;
+        for dst in 1..hosts {
+            let mut net = ChainNetwork::new(hosts, hps, hps + 2);
+            let d = net.inject(Time::ZERO, fm_myrinet::NodeId(0), fm_myrinet::NodeId(dst as u16), n);
+            let hops = net.hops(fm_myrinet::NodeId(0), fm_myrinet::NodeId(dst as u16));
+            let lower = wire_time(n) + SWITCH_LATENCY * hops as u64;
+            prop_assert!(d.tail_at.since(Time::ZERO) >= lower);
+            if let Some((ph, pt)) = prev {
+                if hops > ph {
+                    prop_assert!(d.tail_at >= pt, "more hops must not be faster");
+                }
+            }
+            prev = Some((hops, d.tail_at));
+        }
+    }
+
+    /// Bandwidth sweeps are monotone nondecreasing in packet size for every
+    /// layer (larger packets amortize fixed costs).
+    #[test]
+    fn sim_bandwidth_monotone(seed in 0u64..4) {
+        use fm_testbed::{run_stream, Layer, TestbedConfig};
+        let cfg = TestbedConfig::default();
+        let layer = [Layer::LanaiBaseline, Layer::Hybrid, Layer::AllDma, Layer::FullFm]
+            [seed as usize % 4];
+        let mut prev = 0.0;
+        for n in [16usize, 64, 128, 256, 512] {
+            let r = run_stream(layer, &cfg, n, 600);
+            prop_assert!(
+                r.mbs >= prev * 0.999,
+                "{layer:?}: bw({n}) = {} < previous {prev}",
+                r.mbs
+            );
+            prev = r.mbs;
+        }
+    }
+}
