@@ -2,9 +2,10 @@
 //! runtime): these are wall-clock costs of this implementation on the host
 //! machine, complementing the simulated 1995 numbers.
 
+use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fm_core::mem::MemCluster;
-use fm_core::NodeId;
+use fm_core::mem::{FabricKind, MemCluster};
+use fm_core::{spsc_ring, HandlerId, NodeId, WireFrame, FM_FRAME_MAX};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -91,6 +92,91 @@ fn bench_send_large(c: &mut Criterion) {
     g.finish();
 }
 
+/// The tentpole comparison: encoded 152-byte frames over the raw SPSC ring
+/// (encode-in-place, batched drain) vs the channel baseline (heap box +
+/// queue node per frame). Push/drain cycles run on the bench thread so the
+/// numbers isolate fabric cost, not scheduler noise. This is the ratio
+/// `scripts/bench_gate` enforces (>= 3x).
+fn bench_wire_fabric(c: &mut Criterion) {
+    const BATCH: usize = 256;
+    let frame = WireFrame::data(
+        NodeId(0),
+        NodeId(1),
+        HandlerId(1),
+        3,
+        9,
+        Bytes::copy_from_slice(&[0xA5u8; 128]),
+    );
+    let mut template = [0u8; FM_FRAME_MAX];
+    let len = frame.encode_into(&mut template);
+
+    let mut g = c.benchmark_group("mem_fabric/wire");
+    g.throughput(Throughput::Elements(BATCH as u64));
+    g.bench_function("ring", |b| {
+        let (mut p, mut consumer) = spsc_ring(512);
+        b.iter(|| {
+            for _ in 0..BATCH {
+                let ok = p.try_push_with(|slot| {
+                    slot[..len].copy_from_slice(&template[..len]);
+                    len
+                });
+                assert!(ok, "512-deep ring fits the 256-frame batch");
+            }
+            let mut seen = 0;
+            while seen < BATCH {
+                seen += consumer.poll_batch(64, |bytes| {
+                    black_box(bytes[0]);
+                });
+            }
+        });
+    });
+    g.bench_function("channel", |b| {
+        let (tx, rx) = crossbeam::channel::unbounded::<Box<[u8]>>();
+        b.iter(|| {
+            for _ in 0..BATCH {
+                let mut buf = vec![0u8; len];
+                buf.copy_from_slice(&template[..len]);
+                tx.send(buf.into_boxed_slice()).expect("receiver alive");
+            }
+            let mut seen = 0;
+            while seen < BATCH {
+                if let Ok(bytes) = rx.try_recv() {
+                    black_box(bytes[0]);
+                    seen += 1;
+                }
+            }
+        });
+    });
+    g.finish();
+}
+
+/// Full-protocol roundtrip on each fabric: same workload as
+/// `mem_fabric/roundtrip` but parameterized over the transport so the
+/// end-to-end benefit of the ring shows up next to the raw-wire ratio.
+fn bench_fabric_compare(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mem_fabric/fabric_compare");
+    for (name, kind) in [("ring", FabricKind::Ring), ("channel", FabricKind::Channel)] {
+        g.bench_function(name, |b| {
+            let mut nodes = MemCluster::with_fabric(2, Default::default(), kind);
+            let mut bnode = nodes.pop().expect("two nodes");
+            let mut anode = nodes.pop().expect("two nodes");
+            let hits = Arc::new(AtomicU64::new(0));
+            let h2 = hits.clone();
+            let h = bnode.register_handler(move |_, _, data| {
+                h2.fetch_add(data.len() as u64, Ordering::Relaxed);
+            });
+            let payload = [0xABu8; 64];
+            b.iter(|| {
+                anode.send(NodeId(1), h, black_box(&payload));
+                while bnode.extract() == 0 {}
+                anode.extract();
+            });
+            black_box(hits.load(Ordering::Relaxed));
+        });
+    }
+    g.finish();
+}
+
 /// Loopback (self-send) — no wire involved.
 fn bench_loopback(c: &mut Criterion) {
     c.bench_function("mem_fabric/loopback_16B", |b| {
@@ -109,6 +195,8 @@ criterion_group!(
     bench_roundtrip,
     bench_stream,
     bench_send_large,
+    bench_wire_fabric,
+    bench_fabric_compare,
     bench_loopback
 );
 criterion_main!(benches);

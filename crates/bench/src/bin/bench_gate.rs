@@ -1,0 +1,308 @@
+//! Perf-regression gate for the SPSC ring fabric (`fm-core::fabric`).
+//!
+//! Runs three workloads and writes `BENCH_fabric.json`:
+//!
+//! 1. **Raw wire throughput** — encoded 152-byte frames pushed from one
+//!    thread to another over the SPSC ring (encode-in-place + batched
+//!    drain) and over the channel baseline (heap-boxed frame + queue node
+//!    per send). The ratio is the gate's headline `speedup`.
+//! 2. **Full-stack ping-pong** — two `MemEndpoint`s, serial echo rounds on
+//!    both fabrics: msgs/sec plus p50/p99 per-frame latency (half the
+//!    measured round trip).
+//! 3. **Steady-state allocations** — the ring ping-pong runs under the
+//!    counting allocator ([`fm_bench::alloc_track`]); after warmup the
+//!    short-message path must allocate nothing at all.
+//!
+//! `--smoke` shrinks the workloads to CI size and skips enforcement (the
+//! JSON is still written, with `"enforced": false`); without it the
+//! process exits nonzero when a gate fails. `--out PATH` overrides the
+//! output path.
+
+use fm_bench::alloc_track::{allocations, AllocSnapshot, CountingAlloc};
+use fm_core::mem::{FabricKind, MemCluster};
+use fm_core::{spsc_ring, HandlerId, NodeId, WireFrame, FM_FRAME_MAX};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Gate thresholds (see ISSUE/ROADMAP: ring must beat the general-purpose
+/// channel by at least this factor, and steady state must not allocate).
+const MIN_WIRE_SPEEDUP: f64 = 3.0;
+
+fn encoded_template() -> ([u8; FM_FRAME_MAX], usize) {
+    let frame = WireFrame::data(
+        NodeId(0),
+        NodeId(1),
+        HandlerId(1),
+        7,
+        42,
+        bytes::Bytes::copy_from_slice(&[0xA5u8; 128]),
+    );
+    let mut buf = [0u8; FM_FRAME_MAX];
+    let n = frame.encode_into(&mut buf);
+    (buf, n)
+}
+
+/// Frames/sec moving `frames` encoded frames producer-thread ->
+/// consumer-thread over the raw SPSC ring.
+fn wire_ring(frames: u64) -> f64 {
+    let (mut p, mut c) = spsc_ring(512);
+    let (template, len) = encoded_template();
+    let consumer = std::thread::spawn(move || {
+        let mut seen: u64 = 0;
+        let mut sum: u64 = 0;
+        while seen < frames {
+            seen += c.poll_batch(64, |b| sum += b[0] as u64) as u64;
+            std::thread::yield_now();
+        }
+        black_box(sum);
+    });
+    let t0 = Instant::now();
+    let mut sent: u64 = 0;
+    while sent < frames {
+        if p.try_push_with(|slot| {
+            slot[..len].copy_from_slice(&template[..len]);
+            len
+        }) {
+            sent += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+    consumer.join().expect("wire consumer");
+    frames as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Frames/sec over the channel baseline: one heap box plus one queue
+/// crossing per frame.
+fn wire_channel(frames: u64) -> f64 {
+    let (tx, rx) = crossbeam::channel::unbounded::<Box<[u8]>>();
+    let consumer = std::thread::spawn(move || {
+        let mut seen: u64 = 0;
+        let mut sum: u64 = 0;
+        while seen < frames {
+            if let Ok(b) = rx.try_recv() {
+                sum += b[0] as u64;
+                seen += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        black_box(sum);
+    });
+    let (template, len) = encoded_template();
+    let t0 = Instant::now();
+    for _ in 0..frames {
+        let mut buf = vec![0u8; len];
+        buf.copy_from_slice(&template[..len]);
+        tx.send(buf.into_boxed_slice()).expect("consumer alive");
+    }
+    consumer.join().expect("wire consumer");
+    frames as f64 / t0.elapsed().as_secs_f64()
+}
+
+struct PingPong {
+    msgs_per_sec: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    steady: AllocSnapshot,
+    frames: u64,
+}
+
+/// Serial echo rounds over the full protocol stack (window, acks, codec).
+/// Returns throughput, per-frame latency percentiles, and the allocation
+/// delta across the measured (post-warmup) section.
+fn pingpong(fabric: FabricKind, warmup: u64, rounds: u64) -> PingPong {
+    let mut nodes = MemCluster::with_fabric(2, Default::default(), fabric);
+    let mut b = nodes.pop().expect("node 1");
+    let mut a = nodes.pop().expect("node 0");
+    let hb = b.register_handler(|out, src, data| out.send_copy(src, HandlerId(1), data));
+    let echoes = Arc::new(AtomicU64::new(0));
+    let e2 = echoes.clone();
+    let ha = a.register_handler(move |_, _, _| {
+        e2.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(ha, HandlerId(1), "echo handler id is fixed by construction");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let s2 = stop.clone();
+    let tb = std::thread::spawn(move || {
+        while !s2.load(Ordering::Relaxed) {
+            b.extract();
+            std::thread::yield_now();
+        }
+    });
+
+    let payload = [0x5Au8; 16];
+    let mut done: u64 = 0;
+    let round = |a: &mut fm_core::MemEndpoint, done: &mut u64| {
+        a.send(NodeId(1), hb, &payload);
+        *done += 1;
+        while echoes.load(Ordering::Relaxed) < *done {
+            a.extract();
+            std::thread::yield_now();
+        }
+    };
+    for _ in 0..warmup {
+        round(&mut a, &mut done);
+    }
+    let mut rtts: Vec<u64> = Vec::with_capacity(rounds as usize);
+    let before = allocations();
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        let t = Instant::now();
+        round(&mut a, &mut done);
+        rtts.push(t.elapsed().as_nanos() as u64);
+    }
+    let elapsed = t0.elapsed();
+    let steady = allocations().since(before);
+    stop.store(true, Ordering::Relaxed);
+    tb.join().expect("echo thread");
+    rtts.sort_unstable();
+    let pct = |p: f64| rtts[((rtts.len() - 1) as f64 * p).round() as usize] / 2;
+    PingPong {
+        // Each round moves two data frames (ping + echo).
+        msgs_per_sec: 2.0 * rounds as f64 / elapsed.as_secs_f64(),
+        p50_ns: pct(0.50),
+        p99_ns: pct(0.99),
+        steady,
+        frames: 2 * rounds,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out_path = "BENCH_fabric.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("error: --out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: bench_gate [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (wire_frames, warmup, rounds) = if smoke {
+        (50_000, 500, 2_000)
+    } else {
+        (2_000_000, 20_000, 100_000)
+    };
+
+    eprintln!("bench_gate: raw wire throughput ({wire_frames} frames/fabric)...");
+    let ring_wire = wire_ring(wire_frames);
+    let chan_wire = wire_channel(wire_frames);
+    let wire_speedup = ring_wire / chan_wire;
+
+    eprintln!("bench_gate: full-stack ping-pong ({rounds} rounds/fabric)...");
+    let ring_pp = pingpong(FabricKind::Ring, warmup, rounds);
+    let chan_pp = pingpong(FabricKind::Channel, warmup, rounds);
+
+    let allocs_per_1m = ring_pp.steady.allocs as f64 * 1e6 / ring_pp.frames as f64;
+    let bytes_per_1m = ring_pp.steady.bytes as f64 * 1e6 / ring_pp.frames as f64;
+
+    let speedup_ok = wire_speedup >= MIN_WIRE_SPEEDUP;
+    let zero_alloc_ok = ring_pp.steady.allocs == 0;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"fabric_gate\",\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"wire\": {{\n",
+            "    \"frames\": {wire_frames},\n",
+            "    \"ring_msgs_per_sec\": {ring_wire:.0},\n",
+            "    \"channel_msgs_per_sec\": {chan_wire:.0},\n",
+            "    \"speedup\": {wire_speedup:.2}\n",
+            "  }},\n",
+            "  \"pingpong\": {{\n",
+            "    \"rounds\": {rounds},\n",
+            "    \"ring\": {{ \"msgs_per_sec\": {rpp:.0}, \"p50_frame_ns\": {rp50}, \"p99_frame_ns\": {rp99} }},\n",
+            "    \"channel\": {{ \"msgs_per_sec\": {cpp:.0}, \"p50_frame_ns\": {cp50}, \"p99_frame_ns\": {cp99} }}\n",
+            "  }},\n",
+            "  \"steady_state\": {{\n",
+            "    \"frames\": {ssf},\n",
+            "    \"allocs\": {ssa},\n",
+            "    \"bytes\": {ssb},\n",
+            "    \"allocs_per_1m_frames\": {a1m:.1},\n",
+            "    \"bytes_per_1m_frames\": {b1m:.1}\n",
+            "  }},\n",
+            "  \"gate\": {{\n",
+            "    \"min_wire_speedup\": {min_speedup:.1},\n",
+            "    \"wire_speedup_ok\": {speedup_ok},\n",
+            "    \"zero_alloc_ok\": {zero_alloc_ok},\n",
+            "    \"enforced\": {enforced}\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        smoke = smoke,
+        wire_frames = wire_frames,
+        ring_wire = ring_wire,
+        chan_wire = chan_wire,
+        wire_speedup = wire_speedup,
+        rounds = rounds,
+        rpp = ring_pp.msgs_per_sec,
+        rp50 = ring_pp.p50_ns,
+        rp99 = ring_pp.p99_ns,
+        cpp = chan_pp.msgs_per_sec,
+        cp50 = chan_pp.p50_ns,
+        cp99 = chan_pp.p99_ns,
+        ssf = ring_pp.frames,
+        ssa = ring_pp.steady.allocs,
+        ssb = ring_pp.steady.bytes,
+        a1m = allocs_per_1m,
+        b1m = bytes_per_1m,
+        min_speedup = MIN_WIRE_SPEEDUP,
+        speedup_ok = speedup_ok,
+        zero_alloc_ok = zero_alloc_ok,
+        enforced = !smoke,
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+
+    println!("wire:      ring {ring_wire:.3e} msg/s  channel {chan_wire:.3e} msg/s  speedup {wire_speedup:.2}x");
+    println!(
+        "pingpong:  ring {:.3e} msg/s (p50 {} ns, p99 {} ns)  channel {:.3e} msg/s (p50 {} ns, p99 {} ns)",
+        ring_pp.msgs_per_sec, ring_pp.p50_ns, ring_pp.p99_ns,
+        chan_pp.msgs_per_sec, chan_pp.p50_ns, chan_pp.p99_ns
+    );
+    println!(
+        "steady:    {} allocs / {} bytes over {} frames ({allocs_per_1m:.1} allocs per 1M frames)",
+        ring_pp.steady.allocs, ring_pp.steady.bytes, ring_pp.frames
+    );
+    println!("wrote {out_path}");
+
+    if !smoke {
+        let mut failed = false;
+        if !speedup_ok {
+            eprintln!("GATE FAIL: wire speedup {wire_speedup:.2}x < {MIN_WIRE_SPEEDUP:.1}x");
+            failed = true;
+        }
+        if !zero_alloc_ok {
+            eprintln!(
+                "GATE FAIL: {} steady-state allocations on the ring short-message path (want 0)",
+                ring_pp.steady.allocs
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("gate: PASS (speedup >= {MIN_WIRE_SPEEDUP:.1}x, zero steady-state allocations)");
+    } else {
+        println!("gate: smoke mode — thresholds reported, not enforced");
+    }
+}

@@ -86,6 +86,15 @@ pub struct EndpointConfig {
     /// storms; progress is guaranteed because bounced frames keep their
     /// reserved slots).
     pub retransmit_per_extract: usize,
+    /// Depth (in frames) of each SPSC wire ring an ordered node pair
+    /// shares in [`crate::mem::MemCluster`] — the shared-memory stand-in
+    /// for the LANai send/receive queue pair.
+    ///
+    /// Invariant: every ring depth (`recv_ring`, `wire_ring`) and the
+    /// `window` must be at least 1; a zero-capacity ring can never carry a
+    /// frame, so [`crate::mem::MemCluster::with_config`] rejects such
+    /// configurations up front. Rounded up to a power of two.
+    pub wire_ring: usize,
 }
 
 impl Default for EndpointConfig {
@@ -94,6 +103,7 @@ impl Default for EndpointConfig {
             window: 64,
             recv_ring: 256,
             retransmit_per_extract: 16,
+            wire_ring: 512,
         }
     }
 }
@@ -111,6 +121,9 @@ pub struct EndpointCore {
     /// subsequent extract/send opportunity.
     deferred: VecDeque<(NodeId, HandlerId, Bytes)>,
     outbox: Outbox,
+    /// Scratch for flushing handler-issued sends; its capacity is reused
+    /// across deliveries so the extract hot path never allocates.
+    outbox_scratch: Vec<(NodeId, HandlerId, Bytes)>,
     stats: EndpointStats,
 }
 
@@ -137,6 +150,7 @@ impl EndpointCore {
             outgoing: VecDeque::new(),
             deferred: VecDeque::new(),
             outbox: Outbox::new(id),
+            outbox_scratch: Vec::new(),
             stats: EndpointStats::default(),
             config,
         }
@@ -318,14 +332,18 @@ impl EndpointCore {
                 self.registry.put_back(frame.handler, h);
                 self.stats.delivered += 1;
                 // Flush handler sends immediately so causally-related
-                // messages leave in issue order when the window allows.
-                let queued: Vec<_> = self.outbox.drain().collect();
-                for (dst, handler, payload) in queued {
+                // messages leave in issue order when the window allows. The
+                // batch moves through a persistent scratch Vec (swap, not
+                // collect) so delivery stays allocation-free.
+                let mut queued = std::mem::take(&mut self.outbox_scratch);
+                self.outbox.swap_queued(&mut queued);
+                for (dst, handler, payload) in queued.drain(..) {
                     if self.try_send(dst, handler, payload.clone()).is_err() {
                         self.stats.deferred_sends += 1;
                         self.deferred.push_back((dst, handler, payload));
                     }
                 }
+                self.outbox_scratch = queued;
                 true
             }
             None => {
@@ -367,10 +385,17 @@ impl EndpointCore {
     /// Emit standalone ack frames. `force` drains everything (end of
     /// extract); otherwise only full batches go.
     pub fn flush_acks(&mut self, force: bool) {
-        for (dst, slots) in self.acks.take_standalone(force) {
-            self.outgoing.push_back(WireFrame::ack(self.id, dst, &slots));
-            self.stats.ack_frames_sent += 1;
-        }
+        let Self {
+            acks,
+            outgoing,
+            stats,
+            id,
+            ..
+        } = self;
+        acks.take_standalone(force, |dst, slots| {
+            outgoing.push_back(WireFrame::ack(*id, dst, slots));
+            stats.ack_frames_sent += 1;
+        });
     }
 
     // ---- transport side --------------------------------------------------

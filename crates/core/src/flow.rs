@@ -140,6 +140,10 @@ impl AckTracker {
 
     /// Fill a piggyback area for a data frame headed to `dst` (oldest acks
     /// first).
+    ///
+    /// Drained destinations keep their (empty) map entry so its `Vec`
+    /// retains capacity — on a steady ping-pong the accept/piggyback cycle
+    /// then allocates nothing.
     pub fn take_piggy(&mut self, dst: NodeId) -> PiggyAcks {
         let mut p = PiggyAcks::new();
         if let Some(v) = self.pending.get_mut(&dst) {
@@ -148,38 +152,32 @@ impl AckTracker {
                 let ok = p.push(slot);
                 debug_assert!(ok);
             }
-            if v.is_empty() {
-                self.pending.remove(&dst);
-            }
             self.piggybacked += take as u64;
         }
         p
     }
 
-    /// Drain ack batches for standalone ack frames. With `force`, every
-    /// pending ack is drained (used at the end of an extract call so a
-    /// sender with no reverse traffic is never starved of acks); otherwise
-    /// only destinations with at least [`ACK_BATCH`] pending are drained.
-    /// Each returned group fits one ack frame (<= [`PIGGY_MAX`] slots).
-    pub fn take_standalone(&mut self, force: bool) -> Vec<(NodeId, Vec<u16>)> {
-        let mut out = Vec::new();
-        let nodes: Vec<NodeId> = self.pending.keys().copied().collect();
-        for node in nodes {
-            let v = self.pending.get_mut(&node).expect("key just listed");
-            if !force && v.len() < ACK_BATCH {
+    /// Drain ack batches for standalone ack frames, handing each
+    /// frame-sized group (<= [`PIGGY_MAX`] slots) to `emit`. With `force`,
+    /// every pending ack is drained (used at the end of an extract call so
+    /// a sender with no reverse traffic is never starved of acks);
+    /// otherwise only destinations with at least [`ACK_BATCH`] pending are
+    /// drained. Visitor-style so the common nothing-to-do and
+    /// everything-piggybacked cases allocate nothing.
+    pub fn take_standalone(&mut self, force: bool, mut emit: impl FnMut(NodeId, &[u16])) {
+        for (&node, v) in self.pending.iter_mut() {
+            if v.is_empty() || (!force && v.len() < ACK_BATCH) {
                 continue;
             }
-            while !v.is_empty() && (force || v.len() >= ACK_BATCH) {
-                let take = v.len().min(PIGGY_MAX);
-                let group: Vec<u16> = v.drain(..take).collect();
+            let mut start = 0;
+            while start < v.len() && (force || v.len() - start >= ACK_BATCH) {
+                let take = (v.len() - start).min(PIGGY_MAX);
                 self.standalone_frames += 1;
-                out.push((node, group));
+                emit(node, &v[start..start + take]);
+                start += take;
             }
-            if v.is_empty() {
-                self.pending.remove(&node);
-            }
+            v.drain(..start);
         }
-        out
     }
 }
 
@@ -240,15 +238,21 @@ mod tests {
         assert!(a.take_piggy(NodeId(2)).is_empty());
     }
 
+    fn collect_standalone(a: &mut AckTracker, force: bool) -> Vec<(NodeId, Vec<u16>)> {
+        let mut out = Vec::new();
+        a.take_standalone(force, |node, slots| out.push((node, slots.to_vec())));
+        out
+    }
+
     #[test]
     fn standalone_only_when_batch_reached() {
         let mut a = AckTracker::new();
         a.on_accept(NodeId(1), 0);
         a.on_accept(NodeId(1), 1);
-        assert!(a.take_standalone(false).is_empty(), "below batch");
+        assert!(collect_standalone(&mut a, false).is_empty(), "below batch");
         a.on_accept(NodeId(1), 2);
         a.on_accept(NodeId(1), 3);
-        let out = a.take_standalone(false);
+        let out = collect_standalone(&mut a, false);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0], (NodeId(1), vec![0, 1, 2, 3]));
         assert_eq!(a.pending_total(), 0);
@@ -260,7 +264,7 @@ mod tests {
         a.on_accept(NodeId(5), 50);
         a.on_accept(NodeId(2), 20);
         a.on_accept(NodeId(2), 21);
-        let out = a.take_standalone(true);
+        let out = collect_standalone(&mut a, true);
         assert_eq!(
             out,
             vec![(NodeId(2), vec![20, 21]), (NodeId(5), vec![50])],
@@ -275,10 +279,25 @@ mod tests {
         for slot in 0..10 {
             a.on_accept(NodeId(1), slot);
         }
-        let out = a.take_standalone(true);
+        let out = collect_standalone(&mut a, true);
         let sizes: Vec<usize> = out.iter().map(|(_, v)| v.len()).collect();
         assert_eq!(sizes, vec![4, 4, 2]);
         let all: Vec<u16> = out.into_iter().flat_map(|(_, v)| v).collect();
         assert_eq!(all, (0..10).collect::<Vec<u16>>());
+    }
+
+    #[test]
+    fn drained_destinations_keep_capacity() {
+        // The accept -> piggyback cycle must not shed the per-peer Vec: its
+        // retained capacity is what makes the steady-state path allocation
+        // free.
+        let mut a = AckTracker::new();
+        for round in 0..100 {
+            a.on_accept(NodeId(1), round);
+            let p = a.take_piggy(NodeId(1));
+            assert_eq!(p.as_slice(), &[round]);
+        }
+        assert_eq!(a.pending_total(), 0);
+        assert_eq!(a.piggybacked, 100);
     }
 }

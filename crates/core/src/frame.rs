@@ -26,7 +26,7 @@
 //! standalone `Ack` frames carry their slots in the same piggyback area and
 //! have no payload.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 use fm_myrinet::NodeId;
 use std::fmt;
 
@@ -37,6 +37,10 @@ pub const FM_FRAME_PAYLOAD: usize = 128;
 
 /// Fixed wire header size.
 pub const FM_HEADER_BYTES: usize = 24;
+
+/// Largest encoded frame: header plus a full payload. One fabric ring slot
+/// holds exactly this many bytes.
+pub const FM_FRAME_MAX: usize = FM_HEADER_BYTES + FM_FRAME_PAYLOAD;
 
 /// Maximum acknowledgements piggybacked on one frame.
 pub const PIGGY_MAX: usize = 4;
@@ -211,27 +215,46 @@ impl WireFrame {
         FM_HEADER_BYTES + self.payload.len()
     }
 
-    /// Encode to wire bytes.
-    pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(self.wire_bytes());
-        b.put_u8(self.kind as u8);
-        b.put_u8(self.payload.len() as u8);
-        b.put_u16_le(self.src.0);
-        b.put_u16_le(self.dst.0);
-        b.put_u16_le(self.handler.0);
-        b.put_u16_le(self.slot);
-        b.put_u16_le(self.piggy.len() as u16);
-        b.put_u32_le(self.seq);
+    /// Encode directly into `buf` (at least [`Self::wire_bytes`] long,
+    /// e.g. a fabric ring slot), returning the encoded length. Performs no
+    /// allocation — this is the short-message fast path.
+    pub fn encode_into(&self, buf: &mut [u8]) -> usize {
+        let n = self.wire_bytes();
+        assert!(buf.len() >= n, "encode buffer too small: {} < {n}", buf.len());
+        buf[0] = self.kind as u8;
+        buf[1] = self.payload.len() as u8;
+        buf[2..4].copy_from_slice(&self.src.0.to_le_bytes());
+        buf[4..6].copy_from_slice(&self.dst.0.to_le_bytes());
+        buf[6..8].copy_from_slice(&self.handler.0.to_le_bytes());
+        buf[8..10].copy_from_slice(&self.slot.to_le_bytes());
+        buf[10..12].copy_from_slice(&(self.piggy.len() as u16).to_le_bytes());
+        buf[12..16].copy_from_slice(&self.seq.to_le_bytes());
         for i in 0..PIGGY_MAX {
-            b.put_u16_le(*self.piggy.slots.get(i).unwrap_or(&0));
+            let s = *self.piggy.slots.get(i).unwrap_or(&0);
+            buf[16 + 2 * i..18 + 2 * i].copy_from_slice(&s.to_le_bytes());
         }
-        b.extend_from_slice(&self.payload);
-        debug_assert_eq!(b.len(), self.wire_bytes());
-        b.freeze()
+        buf[FM_HEADER_BYTES..n].copy_from_slice(&self.payload);
+        n
+    }
+
+    /// Encode to wire bytes. With the inline small-buffer `Bytes`
+    /// representation every frame (max [`FM_FRAME_MAX`] bytes) stays on the
+    /// stack — no heap allocation.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = [0u8; FM_FRAME_MAX];
+        let n = self.encode_into(&mut buf);
+        Bytes::copy_from_slice(&buf[..n])
     }
 
     /// Decode from wire bytes.
     pub fn decode(buf: &Bytes) -> Result<Self, CodecError> {
+        Self::decode_slice(&buf[..])
+    }
+
+    /// Decode from a raw byte slice (e.g. a fabric ring slot), copying the
+    /// payload out into an inline `Bytes`. Performs no allocation for any
+    /// legal frame.
+    pub fn decode_slice(buf: &[u8]) -> Result<Self, CodecError> {
         if buf.len() < FM_HEADER_BYTES {
             return Err(CodecError::Truncated { have: buf.len() });
         }
@@ -269,7 +292,7 @@ impl WireFrame {
             slot: rd16(8),
             seq: u32::from_le_bytes([buf[12], buf[13], buf[14], buf[15]]),
             piggy,
-            payload: buf.slice(FM_HEADER_BYTES..want),
+            payload: Bytes::copy_from_slice(&buf[FM_HEADER_BYTES..want]),
         })
     }
 }
@@ -406,5 +429,35 @@ mod tests {
     fn wire_bytes_includes_header() {
         let f = sample();
         assert_eq!(f.wire_bytes(), 24 + 8);
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        for f in [
+            sample(),
+            WireFrame::ack(NodeId(1), NodeId(0), &[7, 8, 9]),
+            WireFrame::data(
+                NodeId(0),
+                NodeId(1),
+                HandlerId(9),
+                1,
+                2,
+                Bytes::from(vec![0xAB; FM_FRAME_PAYLOAD]),
+            ),
+        ] {
+            let mut slot = [0u8; FM_FRAME_MAX];
+            let n = f.encode_into(&mut slot);
+            assert_eq!(&slot[..n], &f.encode()[..]);
+            assert_eq!(WireFrame::decode_slice(&slot[..n]).unwrap(), f);
+            // Trailing slot garbage past the declared length is ignored.
+            assert_eq!(WireFrame::decode_slice(&slot).unwrap(), f);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "encode buffer too small")]
+    fn encode_into_checks_capacity() {
+        let mut tiny = [0u8; 8];
+        sample().encode_into(&mut tiny);
     }
 }

@@ -62,13 +62,21 @@ impl Outbox {
         self.queued.push((dest, handler, payload));
     }
 
+    /// Queue an `FM_send`-style message by copying `payload` (which must
+    /// fit one frame). The copy lands in an inline `Bytes`, so — unlike
+    /// `send(dst, h, data.to_vec())` — this never touches the heap; echo
+    /// handlers on the hot path should prefer it.
+    pub fn send_copy(&mut self, dest: NodeId, handler: HandlerId, payload: &[u8]) {
+        self.send(dest, handler, Bytes::copy_from_slice(payload));
+    }
+
     /// Queue an `FM_send_4`-style four-word message.
     pub fn send_4(&mut self, dest: NodeId, handler: HandlerId, words: [u32; 4]) {
-        let mut buf = Vec::with_capacity(16);
-        for w in words {
-            buf.extend_from_slice(&w.to_le_bytes());
+        let mut buf = [0u8; 16];
+        for (i, w) in words.iter().enumerate() {
+            buf[4 * i..4 * i + 4].copy_from_slice(&w.to_le_bytes());
         }
-        self.queued.push((dest, handler, Bytes::from(buf)));
+        self.queued.push((dest, handler, Bytes::copy_from_slice(&buf)));
     }
 
     /// Number of queued sends.
@@ -83,6 +91,14 @@ impl Outbox {
     /// Drain the queued sends (runtime use).
     pub fn drain(&mut self) -> impl Iterator<Item = (NodeId, HandlerId, Bytes)> + '_ {
         self.queued.drain(..)
+    }
+
+    /// Swap the queued sends with `other` (runtime use). Lets the extract
+    /// loop move the batch out for flushing without allocating a Vec per
+    /// delivered frame — the runtime keeps one scratch Vec and round-trips
+    /// its capacity through here.
+    pub(crate) fn swap_queued(&mut self, other: &mut Vec<(NodeId, HandlerId, Bytes)>) {
+        std::mem::swap(&mut self.queued, other);
     }
 }
 

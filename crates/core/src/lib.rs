@@ -46,6 +46,7 @@
 
 pub mod context;
 pub mod endpoint;
+pub mod fabric;
 pub mod flow;
 pub mod frame;
 pub mod handler;
@@ -55,7 +56,8 @@ pub mod seg;
 pub mod stream;
 
 pub use endpoint::{EndpointCore, EndpointStats, SendError};
-pub use frame::{FrameKind, WireFrame, FM_FRAME_PAYLOAD, FM_HEADER_BYTES};
+pub use fabric::{spsc_ring, BufferPool, RingConsumer, RingProducer};
+pub use frame::{FrameKind, WireFrame, FM_FRAME_MAX, FM_FRAME_PAYLOAD, FM_HEADER_BYTES};
 pub use handler::{Handler, HandlerId, HandlerRegistry, Outbox};
 pub use mem::{MemCluster, MemEndpoint};
 

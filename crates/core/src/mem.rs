@@ -1,12 +1,19 @@
 //! The in-memory FM runtime: real endpoints on real threads.
 //!
 //! [`MemCluster::new`] builds `n` fully-connected endpoints whose "wire" is
-//! a crossbeam channel per ordered pair, carrying *encoded* frames — every
-//! byte that would cross the Myrinet crosses a channel here, exercising the
-//! codec, the flow control and the handler machinery for real. This is the
-//! runtime the examples, the integration tests and the Criterion
-//! microbenches use; the calibrated timing reproduction lives in
+//! a counter-coordinated SPSC ring per ordered pair ([`crate::fabric`]),
+//! carrying *encoded* frames — every byte that would cross the Myrinet is
+//! encoded in place into a ring slot here, exercising the codec, the flow
+//! control and the handler machinery for real, with zero per-frame heap
+//! traffic. This is the runtime the examples, the integration tests and the
+//! Criterion microbenches use; the calibrated timing reproduction lives in
 //! `fm-testbed`.
+//!
+//! [`MemCluster::with_fabric`] can instead wire the cluster over the
+//! historical crossbeam-channel transport ([`FabricKind::Channel`]), where
+//! every frame is boxed and crosses a mutex-protected queue. It exists as
+//! the baseline `benches/mem_fabric.rs` and `scripts/bench_gate` measure
+//! the ring against.
 //!
 //! Each endpoint is single-threaded by construction (FM 1.0 predates the
 //! multitasking/protection work the paper lists as future work), so a
@@ -14,13 +21,15 @@
 //! thread and drive it there.
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use fm_myrinet::NodeId;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::endpoint::{EndpointConfig, EndpointCore, EndpointStats, SendError};
+use crate::fabric::{spsc_ring, RingConsumer, RingProducer};
+use crate::frame::WireFrame;
 use crate::handler::{HandlerId, Outbox};
 use crate::seg::{self, Reassembly};
 
@@ -30,47 +39,138 @@ pub const SEG_HANDLER: HandlerId = HandlerId(0);
 /// A handler for reassembled large messages: `(outbox, source, message)`.
 pub type LargeHandler = Box<dyn FnMut(&mut Outbox, NodeId, Vec<u8>) + Send>;
 
+/// Frames drained from one peer's ring per poll pass; bounds how long one
+/// peer can monopolize `extract` while keeping the per-batch atomic cost
+/// amortized.
+const WIRE_POLL_BATCH: usize = 32;
+
+/// Which wire implementation a [`MemCluster`] uses between nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FabricKind {
+    /// Counter-coordinated SPSC rings (the default): frames are encoded in
+    /// place into fixed slots and drained in batches — no allocation, no
+    /// locks, one atomic store per side per batch.
+    #[default]
+    Ring,
+    /// General-purpose channel (over `std::sync::mpsc`): every frame is
+    /// heap-boxed and crosses a locked queue. The measured baseline.
+    Channel,
+}
+
+/// The sending half of one node's wire to one peer.
+enum WireTx {
+    Ring(RingProducer),
+    Channel(Sender<Box<[u8]>>),
+}
+
+/// The receiving side of one node's wires: per-peer ring consumers, or the
+/// single merged channel all peers send into.
+enum WireRx {
+    Ring(Vec<Option<RingConsumer>>),
+    Channel(Receiver<Box<[u8]>>),
+}
+
+/// Aggregated wire-fabric counters for one endpoint (all zero on a
+/// [`FabricKind::Channel`] cluster).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Frames pushed into peer rings.
+    pub pushed: u64,
+    /// Pushes refused by a full ring (frame went to the backlog).
+    pub full: u64,
+    /// Frames drained from peer rings.
+    pub polled: u64,
+    /// Non-empty drain batches (each cost one Acquire + one Release).
+    pub batches: u64,
+}
+
 /// Builder for a fully-connected in-memory cluster.
 pub struct MemCluster;
 
 impl MemCluster {
-    /// `n` endpoints with default window/ring sizes.
+    /// `n` endpoints with default window/ring sizes on the ring fabric.
+    #[allow(clippy::new_ret_no_self)] // a builder: "cluster" = the endpoint set
     pub fn new(n: usize) -> Vec<MemEndpoint> {
         Self::with_config(n, EndpointConfig::default())
     }
 
-    /// `n` endpoints with explicit sizing.
+    /// `n` endpoints with explicit sizing on the ring fabric.
+    ///
+    /// # Panics
+    /// If `n` is zero, or any of `config.window`, `config.recv_ring`,
+    /// `config.wire_ring` is zero — a zero-depth ring or window can never
+    /// carry a frame, so the cluster could not deliver anything.
     pub fn with_config(n: usize, config: EndpointConfig) -> Vec<MemEndpoint> {
+        Self::with_fabric(n, config, FabricKind::Ring)
+    }
+
+    /// `n` endpoints with explicit sizing and an explicit wire fabric.
+    pub fn with_fabric(n: usize, config: EndpointConfig, fabric: FabricKind) -> Vec<MemEndpoint> {
         assert!(n >= 1, "a cluster needs at least one node");
-        let mut senders: Vec<Vec<Option<Sender<Bytes>>>> = (0..n).map(|_| Vec::new()).collect();
-        let mut receivers: Vec<Option<Receiver<Bytes>>> = (0..n).map(|_| None).collect();
-        // wires[dst] receives; every node holds a sender clone per peer.
-        for (dst, recv_slot) in receivers.iter_mut().enumerate() {
-            let (tx, rx) = unbounded();
-            *recv_slot = Some(rx);
-            for (src, outs) in senders.iter_mut().enumerate() {
-                outs.push(if src == dst { None } else { Some(tx.clone()) });
+        assert!(config.window > 0, "window must be >= 1 frame");
+        assert!(config.recv_ring > 0, "recv_ring must be >= 1 frame");
+        assert!(config.wire_ring > 0, "wire_ring must be >= 1 frame");
+        let mut txs: Vec<Vec<Option<WireTx>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut rxs: Vec<WireRx> = match fabric {
+            FabricKind::Ring => (0..n)
+                .map(|_| WireRx::Ring((0..n).map(|_| None).collect()))
+                .collect(),
+            FabricKind::Channel => {
+                // One merged channel per destination; peers hold clones.
+                let mut rxs = Vec::with_capacity(n);
+                for dst in 0..n {
+                    let (tx, rx) = unbounded();
+                    rxs.push(WireRx::Channel(rx));
+                    for (src, row) in txs.iter_mut().enumerate() {
+                        if src != dst {
+                            row[dst] = Some(WireTx::Channel(tx.clone()));
+                        }
+                    }
+                }
+                rxs
+            }
+        };
+        if fabric == FabricKind::Ring {
+            // One SPSC ring per ordered pair: src's producer, dst's consumer.
+            for src in 0..n {
+                for dst in 0..n {
+                    if src == dst {
+                        continue;
+                    }
+                    let (producer, consumer) = spsc_ring(config.wire_ring);
+                    txs[src][dst] = Some(WireTx::Ring(producer));
+                    let WireRx::Ring(consumers) = &mut rxs[dst] else {
+                        unreachable!("ring fabric built above");
+                    };
+                    consumers[src] = Some(consumer);
+                }
             }
         }
-        senders
-            .into_iter()
-            .zip(receivers)
+        txs.into_iter()
+            .zip(rxs)
             .enumerate()
-            .map(|(i, (txs, rx))| {
-                MemEndpoint::new(NodeId(i as u16), config, txs, rx.expect("wire built"))
-            })
+            .map(|(i, (tx_row, rx))| MemEndpoint::new(NodeId(i as u16), config, tx_row, rx))
             .collect()
     }
 }
+
+/// Reassembled large messages awaiting dispatch, shared with the
+/// segmentation handler closure.
+type CompletedLarge = Arc<Mutex<VecDeque<(NodeId, HandlerId, Vec<u8>)>>>;
 
 /// One node of the in-memory cluster. Implements the FM 1.0 calls plus the
 /// segmentation extension.
 pub struct MemEndpoint {
     core: EndpointCore,
-    txs: Vec<Option<Sender<Bytes>>>,
-    rx: Receiver<Bytes>,
+    wire_tx: Vec<Option<WireTx>>,
+    wire_rx: WireRx,
+    /// Frames that found their destination ring full; re-offered on every
+    /// flush. Bounded in practice by the send window plus one extract
+    /// round's worth of acks, because everything in `core.outgoing` is.
+    backlog: VecDeque<WireFrame>,
     /// Reassembled messages waiting for their large handler.
-    completed_large: Arc<Mutex<VecDeque<(NodeId, HandlerId, Vec<u8>)>>>,
+    completed_large: CompletedLarge,
     reasm: Arc<Mutex<Reassembly>>,
     large_handlers: Vec<Option<LargeHandler>>,
     /// Large-handler sends that found the window full.
@@ -81,15 +181,9 @@ pub struct MemEndpoint {
 }
 
 impl MemEndpoint {
-    fn new(
-        id: NodeId,
-        config: EndpointConfig,
-        txs: Vec<Option<Sender<Bytes>>>,
-        rx: Receiver<Bytes>,
-    ) -> Self {
+    fn new(id: NodeId, config: EndpointConfig, wire_tx: Vec<Option<WireTx>>, wire_rx: WireRx) -> Self {
         let mut core = EndpointCore::new(id, config);
-        let completed_large: Arc<Mutex<VecDeque<(NodeId, HandlerId, Vec<u8>)>>> =
-            Arc::new(Mutex::new(VecDeque::new()));
+        let completed_large: CompletedLarge = Arc::new(Mutex::new(VecDeque::new()));
         let reasm = Arc::new(Mutex::new(Reassembly::new()));
         {
             let completed = completed_large.clone();
@@ -105,8 +199,9 @@ impl MemEndpoint {
         }
         MemEndpoint {
             core,
-            txs,
-            rx,
+            wire_tx,
+            wire_rx,
+            backlog: VecDeque::new(),
             completed_large,
             reasm,
             large_handlers: Vec::new(),
@@ -126,7 +221,25 @@ impl MemEndpoint {
 
     /// Number of peers (including self).
     pub fn cluster_size(&self) -> usize {
-        self.txs.len()
+        self.wire_tx.len()
+    }
+
+    /// Aggregated wire-fabric counters across all peers.
+    pub fn fabric_stats(&self) -> FabricStats {
+        let mut s = FabricStats::default();
+        for tx in self.wire_tx.iter().flatten() {
+            if let WireTx::Ring(p) = tx {
+                s.pushed += p.stats.pushed;
+                s.full += p.stats.full;
+            }
+        }
+        if let WireRx::Ring(consumers) = &self.wire_rx {
+            for c in consumers.iter().flatten() {
+                s.polled += c.stats.polled;
+                s.batches += c.stats.batches;
+            }
+        }
+        s
     }
 
     // ---- registration ----------------------------------------------------
@@ -262,7 +375,7 @@ impl MemEndpoint {
     pub fn send_large(&mut self, dst: NodeId, large_handler: HandlerId, data: &[u8]) {
         let msg_id = self.next_msg_id;
         self.next_msg_id = self.next_msg_id.wrapping_add(1);
-        for frag in seg::fragment(msg_id, large_handler, data) {
+        seg::fragment_each(msg_id, large_handler, data, |frag| {
             loop {
                 match self.core.try_send(dst, SEG_HANDLER, frag.clone()) {
                     Ok(()) => break,
@@ -274,7 +387,7 @@ impl MemEndpoint {
                 }
             }
             self.flush_wire();
-        }
+        });
     }
 
     /// Service the network: pull frames off the wire, deliver anything
@@ -294,6 +407,7 @@ impl MemEndpoint {
     /// True when this endpoint holds no in-flight protocol state.
     pub fn is_quiescent(&self) -> bool {
         self.core.is_quiescent()
+            && self.backlog.is_empty()
             && self.deferred.is_empty()
             && self.completed_large.lock().is_empty()
             && self.reasm.lock().in_progress() == 0
@@ -313,28 +427,84 @@ impl MemEndpoint {
     // ---- internals ---------------------------------------------------------
 
     fn pump_wire(&mut self) {
-        loop {
-            match self.rx.try_recv() {
-                Ok(bytes) => match crate::frame::WireFrame::decode(&bytes) {
-                    Ok(frame) => self.core.on_wire(frame),
-                    Err(_) => self.codec_errors += 1,
-                },
-                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+        let Self {
+            wire_rx,
+            core,
+            codec_errors,
+            ..
+        } = self;
+        match wire_rx {
+            WireRx::Ring(consumers) => {
+                // Round-robin over peers in bounded batches until a full
+                // sweep finds every ring empty — no peer starves, and each
+                // batch costs one Acquire + one Release regardless of size.
+                loop {
+                    let mut drained = 0;
+                    for c in consumers.iter_mut().flatten() {
+                        drained += c.poll_batch(WIRE_POLL_BATCH, |bytes| {
+                            match WireFrame::decode_slice(bytes) {
+                                Ok(frame) => core.on_wire(frame),
+                                Err(_) => *codec_errors += 1,
+                            }
+                        });
+                    }
+                    if drained == 0 {
+                        break;
+                    }
+                }
+            }
+            WireRx::Channel(rx) => {
+                while let Ok(bytes) = rx.try_recv() {
+                    match WireFrame::decode_slice(&bytes) {
+                        Ok(frame) => core.on_wire(frame),
+                        Err(_) => *codec_errors += 1,
+                    }
+                }
             }
         }
     }
 
     fn flush_wire(&mut self) {
+        // Re-offer frames an earlier flush found a full ring for. Rotation
+        // can reorder frames to one destination, which FM permits (Table 3:
+        // delivery guaranteed, ordering not).
+        for _ in 0..self.backlog.len() {
+            let frame = self.backlog.pop_front().expect("len checked");
+            if let Some(frame) = self.offer(frame) {
+                self.backlog.push_back(frame);
+            }
+        }
         while let Some(frame) = self.core.pop_outgoing() {
-            let dst = frame.dst.index();
-            let Some(Some(tx)) = self.txs.get(dst) else {
-                // Destination outside the cluster: drop (counted nowhere to
-                // go — protocol misconfiguration surfaced by tests).
-                continue;
-            };
-            // Unbounded channel: send only fails if the peer endpoint was
-            // dropped, in which case the frame is undeliverable anyway.
-            let _ = tx.send(frame.encode());
+            if let Some(frame) = self.offer(frame) {
+                self.backlog.push_back(frame);
+            }
+        }
+    }
+
+    /// Put `frame` on the wire toward its destination. Returns the frame
+    /// back when the destination ring is full; `None` when it was sent (or
+    /// dropped because the destination is outside the cluster / hung up —
+    /// undeliverable either way).
+    fn offer(&mut self, frame: WireFrame) -> Option<WireFrame> {
+        let dst = frame.dst.index();
+        match self.wire_tx.get_mut(dst) {
+            None | Some(None) => None,
+            Some(Some(WireTx::Ring(producer))) => {
+                // Zero-copy fast path: encode straight into the ring slot.
+                if producer.try_push_with(|slot| frame.encode_into(slot)) {
+                    None
+                } else {
+                    Some(frame)
+                }
+            }
+            Some(Some(WireTx::Channel(tx))) => {
+                // Baseline path: one heap allocation and a locked queue per
+                // frame.
+                let mut buf = vec![0u8; frame.wire_bytes()];
+                frame.encode_into(&mut buf);
+                let _ = tx.send(buf.into_boxed_slice());
+                None
+            }
         }
     }
 
@@ -386,6 +556,7 @@ impl std::fmt::Debug for MemEndpoint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MemEndpoint")
             .field("core", &self.core)
+            .field("backlog", &self.backlog.len())
             .field("deferred", &self.deferred.len())
             .finish()
     }
@@ -548,6 +719,7 @@ mod tests {
                 window: 64,
                 recv_ring: 4,
                 retransmit_per_extract: 4,
+                ..Default::default()
             },
         );
         let mut b = nodes.pop().unwrap();
@@ -571,6 +743,117 @@ mod tests {
         assert!(b.stats().rejected > 0, "overload must cause rejections");
         assert!(a.stats().retransmitted > 0);
         assert_eq!(seen.lock().len(), 64);
+    }
+
+    #[test]
+    fn channel_fabric_still_delivers() {
+        // The baseline wire must stay functionally equivalent to the ring.
+        let mut nodes =
+            MemCluster::with_fabric(2, EndpointConfig::default(), FabricKind::Channel);
+        let mut b = nodes.pop().unwrap();
+        let mut a = nodes.pop().unwrap();
+        let got = Arc::new(AtomicU64::new(0));
+        let g = got.clone();
+        let h = b.register_handler(move |_, _, data| {
+            g.fetch_add(data[0] as u64, Ordering::SeqCst);
+        });
+        a.send(NodeId(1), h, &[21]);
+        a.send(NodeId(1), h, &[21]);
+        while b.extract() > 0 {}
+        assert_eq!(got.load(Ordering::SeqCst), 42);
+        assert_eq!(a.fabric_stats(), FabricStats::default(), "no ring counters");
+    }
+
+    #[test]
+    fn tiny_wire_ring_backlogs_and_recovers() {
+        // wire_ring=1 forces the producer into the backlog constantly; every
+        // frame must still arrive exactly once.
+        let mut nodes = MemCluster::with_config(
+            2,
+            EndpointConfig {
+                wire_ring: 1,
+                ..Default::default()
+            },
+        );
+        let mut b = nodes.pop().unwrap();
+        let mut a = nodes.pop().unwrap();
+        let seen = Arc::new(Mutex::new(std::collections::HashSet::new()));
+        let s2 = seen.clone();
+        let h = b.register_handler(move |_, _, data| {
+            let v = u32::from_le_bytes(data.try_into().unwrap());
+            assert!(s2.lock().insert(v), "duplicate delivery of {v}");
+        });
+        // Queue a burst without letting the receiver drain: everything past
+        // the first frame must bounce off the 1-slot ring into the backlog.
+        for i in 0..32u32 {
+            a.try_send(NodeId(1), h, &i.to_le_bytes()).unwrap();
+        }
+        let mut guard = 0;
+        while seen.lock().len() < 32 {
+            b.extract();
+            a.service();
+            guard += 1;
+            assert!(guard < 10_000, "stuck: {a:?} {b:?}");
+        }
+        assert!(
+            a.fabric_stats().full > 0,
+            "a 1-deep ring must have refused pushes: {:?}",
+            a.fabric_stats()
+        );
+    }
+
+    #[test]
+    fn fabric_stats_show_batched_drain() {
+        let mut nodes = MemCluster::new(2);
+        let mut b = nodes.pop().unwrap();
+        let mut a = nodes.pop().unwrap();
+        let h = b.register_handler(|_, _, _| {});
+        for i in 0..16u32 {
+            a.try_send(NodeId(1), h, &i.to_le_bytes()).unwrap();
+        }
+        b.extract();
+        let s = b.fabric_stats();
+        assert_eq!(s.polled, 16);
+        assert!(
+            s.batches < s.polled,
+            "16 queued frames must drain in fewer than 16 batches: {s:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wire_ring must be >= 1")]
+    fn zero_wire_ring_rejected() {
+        MemCluster::with_config(
+            2,
+            EndpointConfig {
+                wire_ring: 0,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be >= 1")]
+    fn zero_window_rejected() {
+        MemCluster::with_config(
+            2,
+            EndpointConfig {
+                window: 0,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "recv_ring must be >= 1")]
+    fn zero_recv_ring_rejected() {
+        MemCluster::with_config(
+            2,
+            EndpointConfig {
+                recv_ring: 0,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]

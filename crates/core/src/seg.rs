@@ -37,28 +37,36 @@ pub const FRAG_DATA: usize = FM_FRAME_PAYLOAD - FRAG_HEADER;
 /// Largest message the u16 fragment count can carry (~7.3 MB).
 pub const MAX_MESSAGE: usize = FRAG_DATA * u16::MAX as usize;
 
-/// Split `data` for `handler` into fragment payloads, each a valid FM frame
-/// payload. Zero-length messages produce a single empty-data fragment so
-/// the receiver still gets a delivery.
-pub fn fragment(msg_id: u32, handler: HandlerId, data: &[u8]) -> Vec<Bytes> {
+/// Visit each fragment payload of `data` in index order. Fragments are
+/// staged in a stack buffer and handed out as inline `Bytes` (a fragment
+/// always fits one frame), so no heap allocation happens per fragment —
+/// this is the path `send_large` drives. Zero-length messages produce a
+/// single empty-data fragment so the receiver still gets a delivery.
+pub fn fragment_each(msg_id: u32, handler: HandlerId, data: &[u8], mut emit: impl FnMut(Bytes)) {
     assert!(
         data.len() <= MAX_MESSAGE,
         "message of {} B exceeds the segmentation limit of {MAX_MESSAGE} B",
         data.len()
     );
     let count = data.len().div_ceil(FRAG_DATA).max(1);
-    let mut out = Vec::with_capacity(count);
+    let mut buf = [0u8; FM_FRAME_PAYLOAD];
     for idx in 0..count {
         let chunk = &data[idx * FRAG_DATA..data.len().min((idx + 1) * FRAG_DATA)];
-        let mut buf = Vec::with_capacity(FRAG_HEADER + chunk.len());
-        buf.extend_from_slice(&msg_id.to_le_bytes());
-        buf.extend_from_slice(&(idx as u16).to_le_bytes());
-        buf.extend_from_slice(&(count as u16).to_le_bytes());
-        buf.extend_from_slice(&(data.len() as u32).to_le_bytes());
-        buf.extend_from_slice(&handler.0.to_le_bytes());
-        buf.extend_from_slice(chunk);
-        out.push(Bytes::from(buf));
+        buf[0..4].copy_from_slice(&msg_id.to_le_bytes());
+        buf[4..6].copy_from_slice(&(idx as u16).to_le_bytes());
+        buf[6..8].copy_from_slice(&(count as u16).to_le_bytes());
+        buf[8..12].copy_from_slice(&(data.len() as u32).to_le_bytes());
+        buf[12..14].copy_from_slice(&handler.0.to_le_bytes());
+        buf[FRAG_HEADER..FRAG_HEADER + chunk.len()].copy_from_slice(chunk);
+        emit(Bytes::copy_from_slice(&buf[..FRAG_HEADER + chunk.len()]));
     }
+}
+
+/// Split `data` for `handler` into collected fragment payloads (see
+/// [`fragment_each`] for the allocation-free streaming form).
+pub fn fragment(msg_id: u32, handler: HandlerId, data: &[u8]) -> Vec<Bytes> {
+    let mut out = Vec::with_capacity(data.len().div_ceil(FRAG_DATA).max(1));
+    fragment_each(msg_id, handler, data, |frag| out.push(frag));
     out
 }
 

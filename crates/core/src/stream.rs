@@ -41,6 +41,7 @@ use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
+use crate::fabric::BufferPool;
 use crate::handler::HandlerId;
 use crate::mem::MemEndpoint;
 
@@ -140,6 +141,7 @@ impl StreamMux {
             port,
             next_seq: 0,
             fin_sent: false,
+            pool: BufferPool::with_limit(2),
         }
     }
 
@@ -176,6 +178,9 @@ pub struct FmStream {
     port: u16,
     next_seq: u32,
     fin_sent: bool,
+    /// Chunk staging buffers, recycled across writes so steady-state
+    /// streaming allocates nothing on the send side.
+    pool: BufferPool,
 }
 
 impl FmStream {
@@ -189,13 +194,14 @@ impl FmStream {
 
     fn send_chunk(&mut self, ep: &mut MemEndpoint, flags: u8, data: &[u8]) {
         debug_assert!(data.len() <= CHUNK_BYTES);
-        let mut msg = Vec::with_capacity(CHUNK_HEADER + data.len());
+        let mut msg = self.pool.get(CHUNK_HEADER + data.len());
         msg.extend_from_slice(&self.port.to_le_bytes());
         msg.extend_from_slice(&self.next_seq.to_le_bytes());
         msg.push(flags);
         msg.extend_from_slice(data);
         self.next_seq += 1;
         ep.send_large(self.peer, self.mux.handler, &msg);
+        self.pool.put(msg);
     }
 
     /// Write all of `buf` (blocking; chunks as needed).

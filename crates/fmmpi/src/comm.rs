@@ -45,6 +45,7 @@ pub struct MpiCluster;
 
 impl MpiCluster {
     /// `n` ranks with a generously sized FM window (collectives fan out).
+    #[allow(clippy::new_ret_no_self)] // a builder: "cluster" = the rank set
     pub fn new(n: usize) -> Vec<Communicator> {
         Self::with_config(
             n,

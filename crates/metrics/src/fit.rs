@@ -144,9 +144,12 @@ mod tests {
         linear_fit(&[(1.0, 1.0), (1.0, 2.0)]);
     }
 
+    /// A measured curve: (packet size, value) points.
+    type Curve = Vec<(usize, f64)>;
+
     /// Synthetic layer following the Appendix-A model exactly: latency
     /// 0.87us + 12.5 ns/B; bandwidth n/(0.32 + 0.0125 n) bytes/us.
-    fn appendix_a_curves() -> (Vec<(usize, f64)>, Vec<(usize, f64)>) {
+    fn appendix_a_curves() -> (Curve, Curve) {
         let sizes = [8usize, 16, 32, 64, 128, 256, 512, 1024, 2048];
         let lat = sizes
             .iter()

@@ -7,6 +7,9 @@
 use std::fmt::Write as _;
 
 /// A multi-series scatter/line plot on a character grid.
+/// One plotted series: (legend name, glyph, points).
+type Series = (String, char, Vec<(f64, f64)>);
+
 #[derive(Debug, Clone)]
 pub struct AsciiPlot {
     title: String,
@@ -14,7 +17,7 @@ pub struct AsciiPlot {
     y_label: String,
     width: usize,
     height: usize,
-    series: Vec<(String, char, Vec<(f64, f64)>)>,
+    series: Vec<Series>,
 }
 
 impl AsciiPlot {

@@ -100,6 +100,7 @@ fn checksum_time(n: usize) -> Duration {
 /// One message end to end. Returns `(receiver_done, sender_released)` —
 /// when the receiving application owns the data, and when the sending host
 /// may issue its next command.
+#[allow(clippy::too_many_arguments)] // internal sim helper: the args are the experiment
 fn api_message(
     variant: ApiVariant,
     s: &mut ApiNode,

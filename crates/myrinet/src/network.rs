@@ -122,8 +122,8 @@ impl Network {
         // Cut-through through the switch (plus any extra hops).
         let (mut head_out, mut tail_out) = self.switch.route(head_at_switch, dst.index(), n);
         for _ in 0..self.config.extra_hops {
-            head_out = head_out + self.switch.latency();
-            tail_out = tail_out + self.switch.latency();
+            head_out += self.switch.latency();
+            tail_out += self.switch.latency();
         }
 
         self.injected += 1;

@@ -212,7 +212,7 @@ mod tests {
         assert_eq!(r.delivered, 500);
         assert_eq!(r.data_frames, 500);
         assert!(r.peak_receiver_buffer <= 16);
-        assert!(r.credit_frames >= 500 / 4 as u64);
+        assert!(r.credit_frames >= 500 / 4_u64);
     }
 
     #[test]

@@ -76,7 +76,7 @@ fn run_flows(
     // One receiver chip per distinct destination node.
     let mut recv_chips: std::collections::HashMap<u16, LanaiChip> = Default::default();
     for i in 0..flows {
-        recv_chips.entry(dest_of(i).0).or_insert_with(LanaiChip::new);
+        recv_chips.entry(dest_of(i).0).or_default();
     }
 
     let mut sent = vec![0usize; flows];
@@ -124,8 +124,8 @@ fn run_flows(
         }
     }
 
-    for i in 0..flows {
-        assert_eq!(delivered[i], count, "flow {i} lost packets");
+    for (i, d) in delivered.iter().enumerate() {
+        assert_eq!(*d, count, "flow {i} lost packets");
     }
     let per_flow_mbs: Vec<f64> = (0..flows)
         .map(|i| {

@@ -207,6 +207,7 @@ fn host_submit(
 
 /// Sender-LANai chain: LCP notices the packet and puts it on the wire.
 /// Returns the network delivery report.
+#[allow(clippy::too_many_arguments)] // internal sim helper: the args are the experiment
 fn lanai_send(
     layer: Layer,
     lcp: &fm_lanai::LcpCosts,
@@ -481,9 +482,7 @@ fn host_stream(layer: Layer, cfg: &TestbedConfig, n: usize, count: usize) -> Str
     // Final ack flush (partial batch) so accounting closes.
     if fc && acks_emitted < count {
         let t = emit_ack(&lcp, &hc, cfg, &mut net, &mut rcv, &mut snd, consumed[count - 1]);
-        for j in acks_emitted..count {
-            ack_released[j] = t;
-        }
+        ack_released[acks_emitted..count].fill(t);
         ack_frames += 1;
     }
 

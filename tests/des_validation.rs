@@ -26,7 +26,7 @@ fn mm1_queue_matches_theory() {
     let mut waits = Summary::new();
     let mut arrivals: std::collections::VecDeque<Time> = Default::default();
 
-    let mut next_exp = |rng: &mut Xoshiro256, rate: f64| {
+    let next_exp = |rng: &mut Xoshiro256, rate: f64| {
         Duration::from_ns_f64(rng.next_exp(1.0 / rate).max(0.001))
     };
 

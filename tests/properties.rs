@@ -187,6 +187,157 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Counter-pair boundaries, reject-queue retransmission, SPSC ring fabric
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// CounterPair: under arbitrary produce/consume sequences the occupancy
+    /// invariant `0 <= occupancy <= depth` holds, the full/empty boundaries
+    /// refuse exactly when they should, and the ring indices always agree
+    /// with the model counts modulo depth.
+    #[test]
+    fn counter_pair_boundaries_model(
+        depth in 1usize..12,
+        ops in proptest::collection::vec(any::<bool>(), 0..600),
+    ) {
+        let mut c = CounterPair::new(depth);
+        let mut produced = 0u64;
+        let mut consumed = 0u64;
+        for produce in ops {
+            if produce {
+                let ok = c.try_produce();
+                prop_assert_eq!(ok, produced - consumed < depth as u64, "full boundary");
+                if ok { produced += 1; }
+            } else {
+                let ok = c.try_consume();
+                prop_assert_eq!(ok, produced > consumed, "empty boundary");
+                if ok { consumed += 1; }
+            }
+            prop_assert_eq!(c.produced, produced);
+            prop_assert_eq!(c.consumed, consumed);
+            prop_assert_eq!(c.occupancy(), produced - consumed);
+            prop_assert_eq!(c.is_full(), produced - consumed == depth as u64);
+            prop_assert_eq!(c.is_empty(), produced == consumed);
+            prop_assert_eq!(c.produce_index(), (produced % depth as u64) as usize);
+            prop_assert_eq!(c.consume_index(), (consumed % depth as u64) as usize);
+        }
+    }
+
+    /// CounterPair is translation invariant: a pair whose counters sit many
+    /// whole laps deep (as after days of traffic) behaves identically to a
+    /// fresh one under the same operation sequence — wraparound of the ring
+    /// *indices* never changes any decision.
+    #[test]
+    fn counter_pair_wraparound_translation_invariant(
+        depth in 1usize..10,
+        laps in 0u64..1_000_000_000,
+        ops in proptest::collection::vec(any::<bool>(), 0..300),
+    ) {
+        let mut fresh = CounterPair::new(depth);
+        let mut deep = CounterPair::new(depth);
+        let offset = laps * depth as u64;
+        deep.produced += offset;
+        deep.consumed += offset;
+        for produce in ops {
+            if produce {
+                prop_assert_eq!(fresh.try_produce(), deep.try_produce());
+            } else {
+                prop_assert_eq!(fresh.try_consume(), deep.try_consume());
+            }
+            prop_assert_eq!(fresh.occupancy(), deep.occupancy());
+            prop_assert_eq!(fresh.produce_index(), deep.produce_index());
+            prop_assert_eq!(fresh.consume_index(), deep.consume_index());
+            prop_assert_eq!(deep.produced - fresh.produced, offset);
+            prop_assert_eq!(deep.consumed - fresh.consumed, offset);
+        }
+    }
+
+    /// RejectQueue bounce-and-retransmit: a packet can bounce and be
+    /// retransmitted any number of times; every cycle preserves payload and
+    /// bounce order, the slot stays outstanding throughout, and after the
+    /// final acks the window fully reopens.
+    #[test]
+    fn reject_queue_bounce_retransmit_cycles(
+        cap in 1usize..10,
+        want in 1usize..10,
+        cycles in proptest::collection::vec(1u8..4, 0..8),
+    ) {
+        let mut q: RejectQueue<u32> = RejectQueue::new(cap);
+        let mut live: Vec<(u16, u32)> = Vec::new();
+        for i in 0..want.min(cap) {
+            live.push((q.reserve().expect("capacity available"), i as u32));
+        }
+        for &k in &cycles {
+            let k = (k as usize).min(live.len());
+            for &(slot, tag) in &live[..k] {
+                prop_assert!(q.bounce(slot, tag));
+            }
+            prop_assert_eq!(q.returned(), k);
+            prop_assert_eq!(q.in_flight(), live.len() - k);
+            for &(slot, tag) in &live[..k] {
+                prop_assert_eq!(q.pop_retransmit(), Some((slot, tag)));
+            }
+            prop_assert!(q.pop_retransmit().is_none());
+            // Re-bounced or not, every reserved slot stays outstanding.
+            prop_assert_eq!(q.outstanding(), live.len());
+        }
+        for &(slot, _) in &live {
+            prop_assert!(q.ack(slot));
+        }
+        prop_assert_eq!(q.outstanding(), 0);
+        for _ in 0..cap {
+            prop_assert!(q.reserve().is_some(), "window fully reopened");
+        }
+        prop_assert!(q.reserve().is_none());
+    }
+
+    /// The lock-free SPSC ring fabric agrees with a VecDeque model under
+    /// arbitrary push / batched-poll interleavings (driven from one thread;
+    /// cross-thread agreement is covered by the interleaving and stress
+    /// tests in fm-core). Ops < 9 push one frame; op >= 9 polls a batch of
+    /// up to `op - 8` frames.
+    #[test]
+    fn spsc_ring_matches_model(
+        depth in 1usize..64,
+        ops in proptest::collection::vec(0u8..17, 0..400),
+    ) {
+        let (mut p, mut c) = fm_core::spsc_ring(depth);
+        let cap = c.capacity();
+        prop_assert!(cap >= depth && cap.is_power_of_two());
+        let mut model: std::collections::VecDeque<u32> = Default::default();
+        let mut next = 0u32;
+        for op in ops {
+            if op < 9 {
+                let bytes = next.to_le_bytes();
+                let ok = p.try_push_with(|slot| {
+                    slot[..4].copy_from_slice(&bytes);
+                    4
+                });
+                if model.len() < cap {
+                    prop_assert!(ok, "ring refused below capacity");
+                    model.push_back(next);
+                    next += 1;
+                } else {
+                    prop_assert!(!ok, "ring accepted past capacity");
+                }
+            } else {
+                let max = (op - 8) as usize;
+                let mut got = Vec::new();
+                let n = c.poll_batch(max, |b| {
+                    assert_eq!(b.len(), 4, "frame length survived the ring");
+                    got.push(u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+                });
+                prop_assert_eq!(n, got.len());
+                prop_assert_eq!(n, max.min(model.len()), "batch short-changed");
+                for g in got {
+                    prop_assert_eq!(Some(g), model.pop_front());
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Stream and MPI-matching reordering properties
 // ---------------------------------------------------------------------------
 

@@ -19,8 +19,8 @@ fn random_all_to_all_exactly_once() {
     const PER_NODE: u64 = 300;
     let nodes = MemCluster::new(NODES);
     // seen[dst] collects (src, serial) pairs delivered at dst.
-    let seen: Arc<Vec<Mutex<HashSet<(u16, u64)>>>> =
-        Arc::new((0..NODES).map(|_| Mutex::new(HashSet::new())).collect());
+    type SeenPerNode = Vec<Mutex<HashSet<(u16, u64)>>>;
+    let seen: Arc<SeenPerNode> = Arc::new((0..NODES).map(|_| Mutex::new(HashSet::new())).collect());
     let delivered = Arc::new(AtomicU64::new(0));
 
     let handles: Vec<_> = nodes
@@ -89,6 +89,7 @@ fn single_thread_overload_torture() {
             window: 8,
             recv_ring: 3,
             retransmit_per_extract: 2,
+            ..Default::default()
         },
     );
     let mut b = nodes.pop().expect("node 1");
@@ -138,6 +139,7 @@ fn bidirectional_no_deadlock() {
             window: 4,
             recv_ring: 8,
             retransmit_per_extract: 4,
+            ..Default::default()
         },
     );
     let b = nodes.pop().expect("node 1");

@@ -1,0 +1,470 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! provides the exact API subset the workspace uses (`Bytes`, `BytesMut`,
+//! `BufMut`). It is *not* a drop-in for all of `bytes` — but it adds one
+//! deliberate improvement for this codebase: [`Bytes`] stores payloads up
+//! to [`INLINE_CAP`] bytes **inline** (no heap). One FM frame is at most
+//! 24 + 128 = 152 bytes, so every frame-sized buffer — payloads, encoded
+//! frames, segmentation fragments — lives entirely on the stack / in ring
+//! slots, which is what lets the short-message path run with zero
+//! steady-state allocations (see `fm-core::fabric` and `BENCH_fabric.json`).
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
+
+/// Largest `Bytes` stored without heap allocation: one FM wire frame
+/// (24-byte header + 128-byte payload).
+pub const INLINE_CAP: usize = 152;
+
+#[derive(Clone)]
+enum Repr {
+    /// Borrowed from static storage; never allocates, slices for free.
+    Static(&'static [u8]),
+    /// Small buffer stored in place.
+    Inline { len: u8, buf: [u8; INLINE_CAP] },
+    /// Shared heap storage with a window; clones/slices bump a refcount.
+    Shared {
+        data: Arc<Vec<u8>>,
+        start: usize,
+        end: usize,
+    },
+}
+
+/// A cheaply cloneable, immutable byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub const fn new() -> Self {
+        Bytes {
+            repr: Repr::Static(&[]),
+        }
+    }
+
+    /// Wrap a static slice (no allocation, free slicing).
+    pub const fn from_static(s: &'static [u8]) -> Self {
+        Bytes {
+            repr: Repr::Static(s),
+        }
+    }
+
+    /// Copy a slice. Slices up to [`INLINE_CAP`] bytes are stored inline
+    /// and never touch the allocator.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        if src.len() <= INLINE_CAP {
+            let mut buf = [0u8; INLINE_CAP];
+            buf[..src.len()].copy_from_slice(src);
+            Bytes {
+                repr: Repr::Inline {
+                    len: src.len() as u8,
+                    buf,
+                },
+            }
+        } else {
+            Bytes {
+                repr: Repr::Shared {
+                    start: 0,
+                    end: src.len(),
+                    data: Arc::new(src.to_vec()),
+                },
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Static(s) => s.len(),
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Shared { start, end, .. } => end - start,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => s,
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Shared { data, start, end } => &data[*start..*end],
+        }
+    }
+
+    /// A sub-window of this buffer. Inline and static buffers slice
+    /// without allocating; shared buffers bump the refcount.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let len = self.len();
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(lo <= hi && hi <= len, "slice {lo}..{hi} out of range 0..{len}");
+        match &self.repr {
+            Repr::Static(s) => Bytes::from_static(&s[lo..hi]),
+            Repr::Inline { .. } => Bytes::copy_from_slice(&self.as_slice()[lo..hi]),
+            Repr::Shared { data, start, .. } => Bytes {
+                repr: Repr::Shared {
+                    data: data.clone(),
+                    start: start + lo,
+                    end: start + hi,
+                },
+            },
+        }
+    }
+
+    /// Copy into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        if v.len() <= INLINE_CAP {
+            Bytes::copy_from_slice(&v)
+        } else {
+            Bytes {
+                repr: Repr::Shared {
+                    start: 0,
+                    end: v.len(),
+                    data: Arc::new(v),
+                },
+            }
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl<const N: usize> From<&'static [u8; N]> for Bytes {
+    fn from(s: &'static [u8; N]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(b: Box<[u8]>) -> Self {
+        Bytes::from(b.into_vec())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_slice()
+    }
+}
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Write-side buffer primitives (the subset of `bytes::BufMut` used here).
+pub trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16_le(&mut self, v: u16);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        // Frame-sized buffers will freeze to inline Bytes anyway; still
+        // reserve so larger builders don't reallocate mid-encode.
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.buf.clear()
+    }
+
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s)
+    }
+
+    /// Convert into an immutable [`Bytes`] (inline if frame-sized).
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&Bytes::copy_from_slice(&self.buf), f)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v)
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes())
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes())
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes())
+    }
+    fn put_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s)
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v)
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes())
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes())
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes())
+    }
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_roundtrip_and_slice() {
+        let b = Bytes::copy_from_slice(b"hello fm");
+        assert_eq!(b.len(), 8);
+        assert_eq!(&b[..], b"hello fm");
+        let s = b.slice(2..5);
+        assert_eq!(&s[..], b"llo");
+        assert!(matches!(s.repr, Repr::Inline { .. }));
+    }
+
+    #[test]
+    fn large_buffers_share_storage() {
+        let v: Vec<u8> = (0..1000u32).map(|i| i as u8).collect();
+        let b = Bytes::from(v.clone());
+        assert!(matches!(b.repr, Repr::Shared { .. }));
+        let s = b.slice(100..200);
+        assert_eq!(&s[..], &v[100..200]);
+        let c = b.clone();
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn inline_threshold_is_frame_sized() {
+        let exact = Bytes::from(vec![7u8; INLINE_CAP]);
+        assert!(matches!(exact.repr, Repr::Inline { .. }));
+        let over = Bytes::from(vec![7u8; INLINE_CAP + 1]);
+        assert!(matches!(over.repr, Repr::Shared { .. }));
+    }
+
+    #[test]
+    fn bytes_mut_builds_and_freezes() {
+        let mut m = BytesMut::with_capacity(32);
+        m.put_u8(1);
+        m.put_u16_le(0x0203);
+        m.put_u32_le(0x04050607);
+        m.extend_from_slice(b"xy");
+        assert_eq!(m.len(), 9);
+        let b = m.freeze();
+        assert_eq!(&b[..], &[1, 3, 2, 7, 6, 5, 4, b'x', b'y']);
+    }
+
+    #[test]
+    fn equality_across_reprs() {
+        let a = Bytes::from_static(b"abc");
+        let b = Bytes::copy_from_slice(b"abc");
+        assert_eq!(a, b);
+        assert_eq!(a, *b"abc");
+        assert_eq!(a, b"abc");
+        assert_eq!(a, vec![b'a', b'b', b'c']);
+    }
+
+    #[test]
+    fn empty_and_static_never_allocate() {
+        let e = Bytes::new();
+        assert!(e.is_empty());
+        let s = Bytes::from_static(b"static data");
+        let sub = s.slice(..6);
+        assert!(matches!(sub.repr, Repr::Static(_)));
+        assert_eq!(&sub[..], b"static");
+    }
+}

@@ -1,0 +1,314 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!`/`criterion_main!`
+//! macros — over a simple calibrated wall-clock loop:
+//!
+//! 1. warm up for `CRITERION_WARMUP_MS` (default 200 ms) to estimate the
+//!    per-iteration cost;
+//! 2. run batches sized to ~10 ms each for `CRITERION_MEASURE_MS`
+//!    (default 1000 ms);
+//! 3. report the median batch's ns/iteration plus min/max spread and
+//!    throughput when configured.
+//!
+//! There are no plots, no statistics beyond the median, and no saved
+//! baselines — but numbers are stable enough to compare fabrics and catch
+//! order-of-magnitude regressions, and the harness runs with zero
+//! dependencies.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Units for reported throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A benchmark's display name, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+fn env_ms(var: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_ms),
+    )
+}
+
+/// The measurement loop driver passed to benchmark closures.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    /// Median ns per iteration, filled by `iter`.
+    result_ns: f64,
+    result_spread: (f64, f64),
+}
+
+impl Bencher {
+    /// Time `routine`, keeping the median batch as the result.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup and per-iteration cost estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (self.warmup.as_nanos() as f64 / warm_iters.max(1) as f64).max(0.5);
+        // Batches of ~10ms so cheap routines are not swamped by clock reads.
+        let batch: u64 = ((10_000_000.0 / est_ns).ceil() as u64).clamp(1, 50_000_000);
+        let mut samples: Vec<f64> = Vec::new();
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measure || samples.len() < 5 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            if samples.len() >= 2000 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = samples[samples.len() / 2];
+        self.result_spread = (samples[0], samples[samples.len() - 1]);
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn human_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+fn run_one(
+    full_name: &str,
+    throughput: Option<Throughput>,
+    warmup: Duration,
+    measure: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        warmup,
+        measure,
+        result_ns: f64::NAN,
+        result_spread: (f64::NAN, f64::NAN),
+    };
+    f(&mut b);
+    let ns = b.result_ns;
+    let (lo, hi) = b.result_spread;
+    let mut line = format!(
+        "{full_name:<50} time: [{} {} {}]",
+        human_ns(lo),
+        human_ns(ns),
+        human_ns(hi)
+    );
+    if ns.is_finite() && ns > 0.0 {
+        match throughput {
+            Some(Throughput::Bytes(n)) => {
+                line.push_str(&format!(
+                    "  thrpt: {}",
+                    human_rate(n as f64 * 1e9 / ns, "B")
+                ));
+            }
+            Some(Throughput::Elements(n)) => {
+                line.push_str(&format!(
+                    "  thrpt: {}",
+                    human_rate(n as f64 * 1e9 / ns, "elem")
+                ));
+            }
+            None => {}
+        }
+    }
+    println!("{line}");
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: env_ms("CRITERION_WARMUP_MS", 200),
+            measure: env_ms("CRITERION_MEASURE_MS", 1000),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, None, self.warmup, self.measure, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (warmup, measure) = (self.warmup, self.measure);
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            warmup,
+            measure,
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self // sampling is time-driven here; accepted for API compatibility
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.throughput, self.warmup, self.measure, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(
+            &full,
+            self.throughput,
+            self.warmup,
+            self.measure,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Bundle bench functions into a group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running each group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            warmup: Duration::from_millis(5),
+            measure: Duration::from_millis(20),
+            result_ns: f64::NAN,
+            result_spread: (f64::NAN, f64::NAN),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        });
+        assert!(b.result_ns.is_finite() && b.result_ns > 0.0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        std::env::set_var("CRITERION_WARMUP_MS", "1");
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("id", 3), &3u32, |b, &v| {
+            b.iter(|| black_box(v * 2));
+        });
+        g.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+        c.bench_function("top", |b| b.iter(|| black_box(2 + 2)));
+    }
+}

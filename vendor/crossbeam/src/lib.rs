@@ -1,0 +1,91 @@
+//! Offline stand-in for `crossbeam`: just the `channel` subset this
+//! workspace uses (`unbounded`, `Sender`, `Receiver`, `TryRecvError`),
+//! implemented over `std::sync::mpsc`.
+//!
+//! Performance note: this is the *baseline* wire for the in-memory FM
+//! runtime — every send allocates a queue node and crosses a lock, which
+//! is exactly the general-purpose-buffering cost the paper's design rules
+//! argue against. `fm-core::fabric` replaces it with counter-coordinated
+//! SPSC rings; `benches/mem_fabric.rs` and `scripts/bench_gate` measure
+//! the difference.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Disconnected-or-empty status for [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Errors only when the receiver was dropped; the value rides back.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    /// Returned value from a send to a dropped receiver.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+    }
+
+    /// An unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_and_disconnect() {
+            let (tx, rx) = unbounded();
+            tx.send(5).unwrap();
+            let tx2 = tx.clone();
+            tx2.send(6).unwrap();
+            assert_eq!(rx.try_recv(), Ok(5));
+            assert_eq!(rx.try_recv(), Ok(6));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            drop((tx, tx2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn send_to_dropped_receiver_returns_value() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            let err = tx.send(9).unwrap_err();
+            assert_eq!(err.0, 9);
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The container cannot reach crates.io, so this crate reimplements the
+//! subset of proptest the workspace's property tests use:
+//!
+//! * the `proptest! { #[test] fn name(x in strategy, ...) { ... } }` macro;
+//! * integer range strategies (`0u8..3`, `1usize..=16`), `any::<T>()`,
+//!   and `proptest::collection::vec(strategy, size_strategy)`;
+//! * `prop_assert!` / `prop_assert_eq!` (with optional format args).
+//!
+//! Differences from real proptest, on purpose small:
+//!
+//! * **No shrinking.** On failure the panic message carries the case
+//!   number and the seed; rerun with `PROPTEST_SEED=<seed>` to replay the
+//!   exact sequence.
+//! * Cases per test default to 64 (`PROPTEST_CASES` overrides). Seeds are
+//!   derived deterministically from the test name, so runs are
+//!   reproducible without any wall-clock or OS entropy.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 — small, fast, full-period; good enough for test-case
+/// generation and fully deterministic.
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection-free multiply-shift is fine at test scale.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Something that can generate values of `Self::Value` from a [`TestRng`].
+pub trait Strategy {
+    type Value: Debug;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u64;
+                // span == 0 means the full 2^64 domain; take raw bits.
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                (*self.start() as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A collection-size bound: concrete (not generic) so untyped literals
+/// like `0..=4` infer `usize`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi_inclusive - self.lo + 1) as u64) as usize
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+/// Full-domain strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Generate any value of `T` (implemented for the integer types + bool).
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! any_ints {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+any_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// `vec(elements, sizes)` — a vector whose length is drawn from
+    /// `sizes` and whose elements are drawn from `elements`.
+    pub fn vec<E: Strategy>(elements: E, sizes: impl Into<SizeRange>) -> VecStrategy<E> {
+        VecStrategy {
+            elements,
+            sizes: sizes.into(),
+        }
+    }
+
+    pub struct VecStrategy<E> {
+        elements: E,
+        sizes: SizeRange,
+    }
+
+    impl<E: Strategy> Strategy for VecStrategy<E> {
+        type Value = Vec<E::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<E::Value> {
+            let n = self.sizes.draw(rng);
+            (0..n).map(|_| self.elements.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{any, collection, prop_assert, prop_assert_eq, prop_assert_ne, proptest,
+                    Strategy, TestRng};
+    /// Namespace alias so `prop::collection::vec(...)` also works.
+    pub use crate as prop;
+}
+
+/// FNV-1a over the test name: a stable per-test base seed.
+pub fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Drive `case` for the configured number of cases. Panics (with a replay
+/// seed) on the first failing case.
+pub fn run_cases(name: &str, mut case: impl FnMut(&mut TestRng) -> Result<(), String>) {
+    let cases: u64 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let forced: Option<u64> = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let base = forced.unwrap_or_else(|| name_seed(name));
+    let n = if forced.is_some() { 1 } else { cases };
+    for i in 0..n {
+        let seed = base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = TestRng::seed_from_u64(seed);
+        if let Err(msg) = case(&mut rng) {
+            panic!(
+                "proptest `{name}` failed on case {i}/{n}: {msg}\n\
+                 replay with PROPTEST_SEED={seed}"
+            );
+        }
+    }
+}
+
+/// The proptest entry macro: each `#[test]` fn's arguments are drawn from
+/// their strategies for every generated case.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), rng);)*
+                    let body = || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    };
+                    body()
+                });
+            }
+        )*
+    };
+}
+
+/// Like `assert!` but reports through the proptest harness (so the failure
+/// message carries the case's replay seed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} ({}:{})", stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} ({}:{}): {}",
+                stringify!($cond), file!(), line!(), ::std::format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!` through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}` ({}:{})\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), file!(), line!(), l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}` ({}:{}): {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), file!(), line!(),
+                ::std::format!($($fmt)+), l, r
+            ));
+        }
+    }};
+}
+
+/// Like `assert_ne!` through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}` ({}:{})\n  both: {:?}",
+                stringify!($left), stringify!($right), file!(), line!(), l
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::seed_from_u64(7);
+        let mut b = TestRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_strategies_respect_bounds() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = (3u8..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (10usize..=12).generate(&mut rng);
+            assert!((10..=12).contains(&w));
+            let x = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = TestRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let v = collection::vec(any::<u16>(), 0usize..=4).generate(&mut rng);
+            assert!(v.len() <= 4);
+        }
+    }
+
+    proptest! {
+        /// The macro itself: strategies bind, prop_asserts report.
+        #[test]
+        fn macro_smoke(a in 0u32..100, b in any::<bool>(), v in collection::vec(0u8..10, 1usize..5)) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(b, b);
+            prop_assert!(!v.is_empty() && v.len() < 5, "len was {}", v.len());
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+}
