@@ -81,7 +81,7 @@ fn bench_send_large(c: &mut Criterion) {
             let payload = vec![7u8; size];
             b.iter(|| {
                 let before = done.load(Ordering::Relaxed);
-                anode.send_large(NodeId(1), lh, black_box(&payload));
+                anode.send_large(NodeId(1), lh, black_box(&payload)).expect("peer alive");
                 while done.load(Ordering::Relaxed) == before {
                     bnode.extract();
                     anode.extract();
@@ -92,7 +92,7 @@ fn bench_send_large(c: &mut Criterion) {
     g.finish();
 }
 
-/// The tentpole comparison: encoded 152-byte frames over the raw SPSC ring
+/// The tentpole comparison: encoded 156-byte frames (CRC trailer included) over the raw SPSC ring
 /// (encode-in-place, batched drain) vs the channel baseline (heap box +
 /// queue node per frame). Push/drain cycles run on the bench thread so the
 /// numbers isolate fabric cost, not scheduler noise. This is the ratio

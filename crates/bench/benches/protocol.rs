@@ -54,19 +54,19 @@ fn bench_reject_queue(c: &mut Criterion) {
     c.bench_function("protocol/reject_queue_reserve_ack", |b| {
         let mut q: RejectQueue<u64> = RejectQueue::new(256);
         b.iter(|| {
-            let s = q.reserve().expect("capacity");
+            let s = q.reserve(0, 1 << 40).expect("capacity");
             black_box(s);
-            q.ack(s);
+            q.ack(s, 0);
         });
     });
     c.bench_function("protocol/reject_queue_bounce_retx", |b| {
         let mut q: RejectQueue<u64> = RejectQueue::new(256);
         b.iter(|| {
-            let s = q.reserve().expect("capacity");
-            q.bounce(s, 99);
-            let (s2, v) = q.pop_retransmit().expect("just bounced");
+            let s = q.reserve(0, 1 << 40).expect("capacity");
+            q.bounce(s, 0, 99);
+            let (s2, v) = q.pop_retransmit(0).expect("just bounced");
             black_box(v);
-            q.ack(s2);
+            q.ack(s2, 0);
         });
     });
 }

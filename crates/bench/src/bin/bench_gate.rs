@@ -2,7 +2,8 @@
 //!
 //! Runs three workloads and writes `BENCH_fabric.json`:
 //!
-//! 1. **Raw wire throughput** — encoded 152-byte frames pushed from one
+//! 1. **Raw wire throughput** — encoded 156-byte frames (CRC trailer
+//!    included) pushed from one
 //!    thread to another over the SPSC ring (encode-in-place + batched
 //!    drain) and over the channel baseline (heap-boxed frame + queue node
 //!    per send). The ratio is the gate's headline `speedup`.
@@ -13,6 +14,15 @@
 //!    counting allocator ([`fm_bench::alloc_track`]); after warmup the
 //!    short-message path must allocate nothing at all.
 //!
+//! A fourth section guards the **reliability layer** (CRC trailer,
+//! sequence windows, retransmission timers — always on since the
+//! fault-injection PR): the full-stack ping-pong is repeated with a
+//! zero-rate [`fm_core::FaultConfig`] injector attached (the clean-path
+//! worst case: every frame still traverses the injector), and, when
+//! `--baseline PATH` points at a previous `BENCH_fabric.json`, current
+//! wire throughput is compared against it — the reliability layer must
+//! cost <10% on a clean network.
+//!
 //! `--smoke` shrinks the workloads to CI size and skips enforcement (the
 //! JSON is still written, with `"enforced": false`); without it the
 //! process exits nonzero when a gate fails. `--out PATH` overrides the
@@ -20,6 +30,7 @@
 
 use fm_bench::alloc_track::{allocations, AllocSnapshot, CountingAlloc};
 use fm_core::mem::{FabricKind, MemCluster};
+use fm_core::FaultConfig;
 use fm_core::{spsc_ring, HandlerId, NodeId, WireFrame, FM_FRAME_MAX};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -32,6 +43,11 @@ static ALLOC: CountingAlloc = CountingAlloc;
 /// Gate thresholds (see ISSUE/ROADMAP: ring must beat the general-purpose
 /// channel by at least this factor, and steady state must not allocate).
 const MIN_WIRE_SPEEDUP: f64 = 3.0;
+
+/// Maximum tolerated clean-path wire-throughput regression vs the
+/// `--baseline` file (the reliability layer must be near-free when the
+/// network is clean).
+const MAX_WIRE_REGRESSION: f64 = 0.10;
 
 fn encoded_template() -> ([u8; FM_FRAME_MAX], usize) {
     let frame = WireFrame::data(
@@ -116,8 +132,13 @@ struct PingPong {
 /// Serial echo rounds over the full protocol stack (window, acks, codec).
 /// Returns throughput, per-frame latency percentiles, and the allocation
 /// delta across the measured (post-warmup) section.
-fn pingpong(fabric: FabricKind, warmup: u64, rounds: u64) -> PingPong {
-    let mut nodes = MemCluster::with_fabric(2, Default::default(), fabric);
+fn pingpong(fabric: FabricKind, faults: Option<FaultConfig>, warmup: u64, rounds: u64) -> PingPong {
+    let mut nodes = match faults {
+        // Zero-rate injector: every frame still pays the injector's
+        // per-frame decision rolls — the clean-path worst case.
+        Some(f) => MemCluster::with_faulty_fabric(2, Default::default(), fabric, f),
+        None => MemCluster::with_fabric(2, Default::default(), fabric),
+    };
     let mut b = nodes.pop().expect("node 1");
     let mut a = nodes.pop().expect("node 0");
     let hb = b.register_handler(|out, src, data| out.send_copy(src, HandlerId(1), data));
@@ -174,10 +195,24 @@ fn pingpong(fabric: FabricKind, warmup: u64, rounds: u64) -> PingPong {
     }
 }
 
+/// Pull `wire.ring_msgs_per_sec` out of a previous `BENCH_fabric.json`
+/// without a JSON dependency: the first `"ring_msgs_per_sec"` key in the
+/// file is the wire section's (see the emit order below).
+fn baseline_wire_msgs(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let key = "\"ring_msgs_per_sec\":";
+    let rest = text[text.find(key)? + key.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
     let mut out_path = "BENCH_fabric.json".to_string();
+    let mut baseline_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -189,9 +224,16 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(p.clone()),
+                None => {
+                    eprintln!("error: --baseline requires a path");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("error: unknown argument `{other}`");
-                eprintln!("usage: bench_gate [--smoke] [--out PATH]");
+                eprintln!("usage: bench_gate [--smoke] [--out PATH] [--baseline PATH]");
                 std::process::exit(2);
             }
         }
@@ -208,15 +250,39 @@ fn main() {
     let chan_wire = wire_channel(wire_frames);
     let wire_speedup = ring_wire / chan_wire;
 
+    // Read the baseline *before* any chance of overwriting it via --out.
+    let baseline_wire = baseline_path.as_deref().and_then(baseline_wire_msgs);
+    if let Some(p) = &baseline_path {
+        if baseline_wire.is_none() {
+            eprintln!("bench_gate: warning: no wire baseline readable from {p}");
+        }
+    }
+
     eprintln!("bench_gate: full-stack ping-pong ({rounds} rounds/fabric)...");
-    let ring_pp = pingpong(FabricKind::Ring, warmup, rounds);
-    let chan_pp = pingpong(FabricKind::Channel, warmup, rounds);
+    let ring_pp = pingpong(FabricKind::Ring, None, warmup, rounds);
+    let chan_pp = pingpong(FabricKind::Channel, None, warmup, rounds);
+
+    eprintln!("bench_gate: reliability clean path (zero-rate injector, {rounds} rounds)...");
+    let clean_faulty_pp = pingpong(
+        FabricKind::Ring,
+        Some(FaultConfig::new(0x000C_1EA4)),
+        warmup,
+        rounds,
+    );
 
     let allocs_per_1m = ring_pp.steady.allocs as f64 * 1e6 / ring_pp.frames as f64;
     let bytes_per_1m = ring_pp.steady.bytes as f64 * 1e6 / ring_pp.frames as f64;
 
     let speedup_ok = wire_speedup >= MIN_WIRE_SPEEDUP;
     let zero_alloc_ok = ring_pp.steady.allocs == 0;
+
+    // Clean-path regression vs the recorded baseline: positive = slower
+    // than the baseline, negative = faster.
+    let wire_regression = baseline_wire.map(|b| (b - ring_wire) / b);
+    let regression_ok = wire_regression.is_none_or(|r| r < MAX_WIRE_REGRESSION);
+    // Injector overhead on the full stack (zero-rate injector vs none).
+    let injector_overhead = (ring_pp.msgs_per_sec - clean_faulty_pp.msgs_per_sec)
+        / ring_pp.msgs_per_sec;
 
     let json = format!(
         concat!(
@@ -241,10 +307,19 @@ fn main() {
             "    \"allocs_per_1m_frames\": {a1m:.1},\n",
             "    \"bytes_per_1m_frames\": {b1m:.1}\n",
             "  }},\n",
+            "  \"reliability\": {{\n",
+            "    \"baseline_path\": {bl_path},\n",
+            "    \"baseline_wire_msgs_per_sec\": {bl_wire},\n",
+            "    \"wire_regression_pct\": {regr_pct},\n",
+            "    \"clean_injector\": {{ \"msgs_per_sec\": {cfpp:.0}, \"p50_frame_ns\": {cfp50}, \"p99_frame_ns\": {cfp99} }},\n",
+            "    \"injector_overhead_pct\": {inj_pct:.1}\n",
+            "  }},\n",
             "  \"gate\": {{\n",
             "    \"min_wire_speedup\": {min_speedup:.1},\n",
             "    \"wire_speedup_ok\": {speedup_ok},\n",
             "    \"zero_alloc_ok\": {zero_alloc_ok},\n",
+            "    \"max_wire_regression_pct\": {max_regr_pct:.1},\n",
+            "    \"wire_regression_ok\": {regression_ok},\n",
             "    \"enforced\": {enforced}\n",
             "  }}\n",
             "}}\n",
@@ -266,9 +341,27 @@ fn main() {
         ssb = ring_pp.steady.bytes,
         a1m = allocs_per_1m,
         b1m = bytes_per_1m,
+        bl_path = match &baseline_path {
+            Some(p) => format!("\"{p}\""),
+            None => "null".to_string(),
+        },
+        bl_wire = match baseline_wire {
+            Some(b) => format!("{b:.0}"),
+            None => "null".to_string(),
+        },
+        regr_pct = match wire_regression {
+            Some(r) => format!("{:.1}", r * 100.0),
+            None => "null".to_string(),
+        },
+        cfpp = clean_faulty_pp.msgs_per_sec,
+        cfp50 = clean_faulty_pp.p50_ns,
+        cfp99 = clean_faulty_pp.p99_ns,
+        inj_pct = injector_overhead * 100.0,
         min_speedup = MIN_WIRE_SPEEDUP,
         speedup_ok = speedup_ok,
         zero_alloc_ok = zero_alloc_ok,
+        max_regr_pct = MAX_WIRE_REGRESSION * 100.0,
+        regression_ok = regression_ok,
         enforced = !smoke,
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
@@ -283,6 +376,21 @@ fn main() {
         "steady:    {} allocs / {} bytes over {} frames ({allocs_per_1m:.1} allocs per 1M frames)",
         ring_pp.steady.allocs, ring_pp.steady.bytes, ring_pp.frames
     );
+    match (baseline_wire, wire_regression) {
+        (Some(b), Some(r)) => println!(
+            "reliability: wire {ring_wire:.3e} vs baseline {b:.3e} msg/s ({:+.1}% {})  \
+             zero-rate injector pingpong {:.3e} msg/s ({:+.1}% vs plain ring)",
+            -r * 100.0,
+            if r >= 0.0 { "slower" } else { "faster" },
+            clean_faulty_pp.msgs_per_sec,
+            -injector_overhead * 100.0,
+        ),
+        _ => println!(
+            "reliability: no baseline — zero-rate injector pingpong {:.3e} msg/s ({:+.1}% vs plain ring)",
+            clean_faulty_pp.msgs_per_sec,
+            -injector_overhead * 100.0,
+        ),
+    }
     println!("wrote {out_path}");
 
     if !smoke {
@@ -298,10 +406,24 @@ fn main() {
             );
             failed = true;
         }
+        if let Some(r) = wire_regression {
+            if !regression_ok {
+                eprintln!(
+                    "GATE FAIL: clean-path wire throughput regressed {:.1}% vs baseline (max {:.0}%)",
+                    r * 100.0,
+                    MAX_WIRE_REGRESSION * 100.0
+                );
+                failed = true;
+            }
+        }
         if failed {
             std::process::exit(1);
         }
-        println!("gate: PASS (speedup >= {MIN_WIRE_SPEEDUP:.1}x, zero steady-state allocations)");
+        println!(
+            "gate: PASS (speedup >= {MIN_WIRE_SPEEDUP:.1}x, zero steady-state allocations, \
+             clean-path regression < {:.0}%)",
+            MAX_WIRE_REGRESSION * 100.0
+        );
     } else {
         println!("gate: smoke mode — thresholds reported, not enforced");
     }

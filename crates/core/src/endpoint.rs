@@ -21,7 +21,7 @@ use bytes::Bytes;
 use fm_myrinet::NodeId;
 use std::collections::VecDeque;
 
-use crate::flow::{AckTracker, SenderFlow};
+use crate::flow::{AckTracker, RetransmitConfig, SenderFlow, SeqClass, SeqWindow};
 use crate::frame::{FrameKind, WireFrame, FM_FRAME_PAYLOAD};
 use crate::handler::{Handler, HandlerId, HandlerRegistry, Outbox};
 use crate::queues::PacketRing;
@@ -34,6 +34,11 @@ pub enum SendError {
     WouldBlock,
     /// Payload exceeds [`FM_FRAME_PAYLOAD`]. Use the segmentation layer.
     TooLarge { len: usize },
+    /// The destination exhausted its retransmission retry budget and has
+    /// been declared dead. Sends to it fail fast until the peer is revived
+    /// with [`EndpointCore::revive_peer`]; traffic to other peers is
+    /// unaffected.
+    PeerUnreachable(NodeId),
 }
 
 impl std::fmt::Display for SendError {
@@ -42,6 +47,9 @@ impl std::fmt::Display for SendError {
             SendError::WouldBlock => write!(f, "send window full"),
             SendError::TooLarge { len } => {
                 write!(f, "payload {len} B exceeds the {FM_FRAME_PAYLOAD} B frame")
+            }
+            SendError::PeerUnreachable(peer) => {
+                write!(f, "peer {} unreachable (retry budget exhausted)", peer.0)
             }
         }
     }
@@ -73,6 +81,20 @@ pub struct EndpointStats {
     pub deferred_sends: u64,
     /// Messages delivered to self without touching the network.
     pub loopback: u64,
+    /// Incoming frames discarded because their CRC32 check failed (counted
+    /// by the transport via [`EndpointCore::note_corrupt`]).
+    pub corrupt: u64,
+    /// Data frames suppressed as duplicates by the receive sequence window.
+    pub duplicates: u64,
+    /// Retransmissions triggered by timer expiry (lost frame or lost ack),
+    /// as opposed to explicit bounces. Also included in `retransmitted`.
+    pub timer_retransmits: u64,
+    /// Handler invocations that panicked; the handler is dropped and later
+    /// frames for its id count as `unknown_handler`.
+    pub handler_panics: u64,
+    /// Frames dropped because their destination was declared dead (window
+    /// slots, queued wire traffic and deferred sends purged together).
+    pub unreachable_drops: u64,
 }
 
 /// Configuration knobs for one endpoint.
@@ -95,6 +117,22 @@ pub struct EndpointConfig {
     /// frame, so [`crate::mem::MemCluster::with_config`] rejects such
     /// configurations up front. Rounded up to a power of two.
     pub wire_ring: usize,
+    /// Initial retransmission timeout, in extract ticks (the endpoint has
+    /// no wall clock; each `extract` call advances time by one). Kept large
+    /// by default so the timers never fire on a healthy in-memory fabric —
+    /// bounces, not timeouts, drive the common recovery path.
+    pub rto_initial: u64,
+    /// Ceiling for the exponentially backed-off retransmission timeout.
+    pub rto_max: u64,
+    /// Timer retransmissions allowed per frame before the destination is
+    /// declared dead and sends to it fail with
+    /// [`SendError::PeerUnreachable`]. Bounce retransmissions do not count:
+    /// a bouncing receiver is demonstrably alive.
+    pub retry_budget: u32,
+    /// How far ahead of the next expected sequence number the receiver will
+    /// buffer out-of-order frames per source; anything further is bounced
+    /// back to the sender (bounding receiver memory).
+    pub reorder_window: u32,
 }
 
 impl Default for EndpointConfig {
@@ -104,6 +142,10 @@ impl Default for EndpointConfig {
             recv_ring: 256,
             retransmit_per_extract: 16,
             wire_ring: 512,
+            rto_initial: 2048,
+            rto_max: 1 << 16,
+            retry_budget: 16,
+            reorder_window: 1024,
         }
     }
 }
@@ -124,6 +166,22 @@ pub struct EndpointCore {
     /// Scratch for flushing handler-issued sends; its capacity is reused
     /// across deliveries so the extract hot path never allocates.
     outbox_scratch: Vec<(NodeId, HandlerId, Bytes)>,
+    /// Virtual clock: one tick per `extract` call. Drives the
+    /// retransmission timers without any real-time dependency, so every
+    /// protocol run is deterministic and replayable.
+    now: u64,
+    /// Next sequence number per destination (indexed by `NodeId.0`).
+    next_seq: Vec<u32>,
+    /// Per-source receive windows: duplicate suppression + in-order
+    /// delivery (indexed by `NodeId.0`, created lazily on first frame).
+    recv_windows: Vec<SeqWindow<WireFrame>>,
+    /// Peers declared dead after exhausting the retry budget.
+    dead: Vec<bool>,
+    /// Deaths not yet reported to the transport via `take_newly_dead`.
+    newly_dead: Vec<NodeId>,
+    /// Scratch buffers for timer servicing (reused, never freed).
+    retx_scratch: Vec<WireFrame>,
+    fail_scratch: Vec<WireFrame>,
     stats: EndpointStats,
 }
 
@@ -131,9 +189,11 @@ impl std::fmt::Debug for EndpointCore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EndpointCore")
             .field("id", &self.id)
+            .field("now", &self.now)
             .field("outstanding", &self.sender.outstanding())
             .field("ring", &self.recv_ring.len())
             .field("outgoing", &self.outgoing.len())
+            .field("buffered", &self.recv_buffered())
             .field("stats", &self.stats)
             .finish()
     }
@@ -141,16 +201,32 @@ impl std::fmt::Debug for EndpointCore {
 
 impl EndpointCore {
     pub fn new(id: NodeId, config: EndpointConfig) -> Self {
+        let retransmit = RetransmitConfig {
+            rto_initial: config.rto_initial,
+            rto_max: config.rto_max,
+            retry_budget: config.retry_budget,
+        };
+        // Seed the jitter PRNG from the node id: deterministic per run,
+        // decorrelated across nodes (so synchronized losses do not produce
+        // synchronized retransmission storms).
+        let jitter_seed = 0x9E37_79B9_7F4A_7C15u64 ^ ((id.0 as u64) << 17) ^ (id.0 as u64);
         EndpointCore {
             id,
             registry: HandlerRegistry::new(),
-            sender: SenderFlow::new(config.window),
+            sender: SenderFlow::new(config.window, retransmit, jitter_seed),
             acks: AckTracker::new(),
             recv_ring: PacketRing::new(config.recv_ring),
             outgoing: VecDeque::new(),
             deferred: VecDeque::new(),
             outbox: Outbox::new(id),
             outbox_scratch: Vec::new(),
+            now: 0,
+            next_seq: Vec::new(),
+            recv_windows: Vec::new(),
+            dead: Vec::new(),
+            newly_dead: Vec::new(),
+            retx_scratch: Vec::new(),
+            fail_scratch: Vec::new(),
             stats: EndpointStats::default(),
             config,
         }
@@ -181,6 +257,45 @@ impl EndpointCore {
     /// Frames waiting in the receive ring (not yet extracted).
     pub fn pending_extract(&self) -> usize {
         self.recv_ring.len()
+    }
+
+    /// Current virtual time (one tick per `extract` call).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Out-of-order frames parked in receive sequence windows.
+    pub fn recv_buffered(&self) -> usize {
+        self.recv_windows.iter().map(|w| w.buffered()).sum()
+    }
+
+    /// True when `peer` has been declared dead (retry budget exhausted).
+    pub fn is_dead(&self, peer: NodeId) -> bool {
+        self.dead.get(peer.index()).copied().unwrap_or(false)
+    }
+
+    /// Drain the list of peers declared dead since the last call. The
+    /// transport uses this to purge per-peer state outside the core (e.g.
+    /// partially reassembled large messages).
+    pub fn take_newly_dead(&mut self) -> Vec<NodeId> {
+        std::mem::take(&mut self.newly_dead)
+    }
+
+    /// Clear the dead mark for `peer`, allowing sends again. Sequence and
+    /// window state survives, so a genuinely recovered peer resumes where
+    /// it left off; frames dropped while dead are gone (their loss was
+    /// already surfaced through `unreachable_drops` / `PeerUnreachable`).
+    pub fn revive_peer(&mut self, peer: NodeId) {
+        if let Some(flag) = self.dead.get_mut(peer.index()) {
+            *flag = false;
+        }
+    }
+
+    /// Record a frame the transport discarded for a CRC mismatch. The frame
+    /// never reaches the protocol; the sender's retransmission timer is
+    /// what recovers it.
+    pub fn note_corrupt(&mut self) {
+        self.stats.corrupt += 1;
     }
 
     // ---- handler registration -------------------------------------------
@@ -215,12 +330,49 @@ impl EndpointCore {
         }
         // Fairness: deferred handler sends go out before fresh traffic.
         self.flush_deferred();
-        let (slot, seq) = self.sender.begin_send().ok_or(SendError::WouldBlock)?;
+        self.queue_data_frame(dst, handler, payload)
+    }
+
+    /// Reserve a window slot, assign the next per-destination sequence
+    /// number, park a retransmission copy, and queue the frame. Order
+    /// matters: the sequence number is allocated only *after* the slot
+    /// reservation succeeds — a sequence number burned on `WouldBlock`
+    /// would leave a permanent gap that stalls the receiver's in-order
+    /// window.
+    fn queue_data_frame(
+        &mut self,
+        dst: NodeId,
+        handler: HandlerId,
+        payload: Bytes,
+    ) -> Result<(), SendError> {
+        if self.is_dead(dst) {
+            return Err(SendError::PeerUnreachable(dst));
+        }
+        let slot = self
+            .sender
+            .begin_send(self.now)
+            .ok_or(SendError::WouldBlock)?;
+        let seq = self.alloc_seq(dst);
         let mut frame = WireFrame::data(self.id, dst, handler, slot, seq, payload);
+        frame.slot_gen = self.sender.gen(slot);
+        // The stored copy carries no piggybacked acks: were it ever
+        // retransmitted, replaying stale ack words would be wrong. Fresh
+        // acks are attached at each (re)transmission instead.
+        self.sender.store(slot, frame.clone());
         frame.piggy = self.acks.take_piggy(dst);
         self.outgoing.push_back(frame);
         self.stats.sent += 1;
         Ok(())
+    }
+
+    fn alloc_seq(&mut self, dst: NodeId) -> u32 {
+        let idx = dst.index();
+        if idx >= self.next_seq.len() {
+            self.next_seq.resize(idx + 1, 0);
+        }
+        let seq = self.next_seq[idx];
+        self.next_seq[idx] = seq.wrapping_add(1);
+        seq
     }
 
     /// `FM_send_4`: queue a four-word message.
@@ -273,28 +425,20 @@ impl EndpointCore {
     pub fn on_wire(&mut self, frame: WireFrame) {
         debug_assert_eq!(frame.dst, self.id, "transport misrouted a frame");
         // Piggybacked acks count regardless of what happens to the frame.
-        for &slot in frame.piggy.as_slice() {
-            self.sender.on_ack(slot);
+        for &word in frame.piggy.as_slice() {
+            self.sender.on_ack(word);
             self.stats.acks_received += 1;
         }
         match frame.kind {
-            FrameKind::Data => {
-                let src = frame.src;
-                let slot = frame.slot;
-                match self.recv_ring.push(frame) {
-                    Ok(()) => self.acks.on_accept(src, slot),
-                    Err(frame) => {
-                        // Return to sender: the receiver has no room; the
-                        // source reserved reject-queue space for exactly
-                        // this case.
-                        self.stats.rejected += 1;
-                        self.outgoing.push_back(frame.into_return());
-                    }
-                }
-            }
+            FrameKind::Data => self.on_data(frame),
             FrameKind::Return => {
                 let slot = frame.slot;
-                if self.sender.on_bounce(slot, frame) {
+                let gen = frame.slot_gen;
+                // Normalize to Data form *before* parking so everything the
+                // reject queue stores — and everything the timers may later
+                // clone and resend — is a self→peer data frame.
+                let data = frame.into_retransmit();
+                if self.sender.on_bounce(slot, gen, data) {
                     self.stats.bounced += 1;
                 }
             }
@@ -302,15 +446,117 @@ impl EndpointCore {
         }
     }
 
+    /// Admit one incoming data frame through the per-source sequence
+    /// window. Four outcomes:
+    ///
+    /// * duplicate (retransmission of something already accepted) — drop
+    ///   it but re-ack, since the ack may be what got lost;
+    /// * in order — accept into the ring (bounce if full), ack, and pull
+    ///   any directly-following buffered frames in behind it;
+    /// * ahead within the reorder window — buffer and ack now, deliver
+    ///   when the gap fills;
+    /// * too far ahead — bounce without acking (bounds receiver memory;
+    ///   the sender's bounce path retransmits it later).
+    fn on_data(&mut self, frame: WireFrame) {
+        let src = frame.src;
+        let slot = frame.slot;
+        let gen = frame.slot_gen;
+        let seq = frame.seq;
+        match self.window_mut(src).classify(seq) {
+            SeqClass::Duplicate => {
+                self.stats.duplicates += 1;
+                self.acks.on_accept(src, slot, gen);
+            }
+            SeqClass::InOrder => match self.recv_ring.push(frame) {
+                Ok(()) => {
+                    self.acks.on_accept(src, slot, gen);
+                    // Split borrow: classify() above guarantees the window
+                    // exists at src.index().
+                    let Self {
+                        recv_windows,
+                        recv_ring,
+                        ..
+                    } = self;
+                    let win = &mut recv_windows[src.index()];
+                    win.advance();
+                    Self::drain_window_into(win, recv_ring);
+                }
+                Err(frame) => {
+                    // Return to sender: the receiver has no room; the
+                    // source reserved reject-queue space for exactly this
+                    // case. Not acked, not advanced — the retransmission
+                    // will be InOrder again.
+                    self.stats.rejected += 1;
+                    self.outgoing.push_back(frame.into_return());
+                }
+            },
+            SeqClass::Ahead => {
+                self.acks.on_accept(src, slot, gen);
+                self.window_mut(src).buffer(seq, frame);
+            }
+            SeqClass::TooFar => {
+                self.stats.rejected += 1;
+                self.outgoing.push_back(frame.into_return());
+            }
+        }
+    }
+
+    fn window_mut(&mut self, src: NodeId) -> &mut SeqWindow<WireFrame> {
+        let idx = src.index();
+        if idx >= self.recv_windows.len() {
+            let lookahead = self.config.reorder_window;
+            self.recv_windows
+                .resize_with(idx + 1, || SeqWindow::new(lookahead));
+        }
+        &mut self.recv_windows[idx]
+    }
+
+    /// Move consecutively-sequenced buffered frames into the receive ring.
+    fn drain_window_into(win: &mut SeqWindow<WireFrame>, ring: &mut PacketRing<WireFrame>) {
+        while win.buffered() > 0 && !ring.is_full() {
+            let Some(frame) = win.take_ready() else { break };
+            let pushed = ring.push(frame);
+            debug_assert!(pushed.is_ok(), "checked not full above");
+        }
+    }
+
+    /// Refill the receive ring from every source's reorder buffer.
+    fn drain_all_windows(&mut self) {
+        let Self {
+            recv_windows,
+            recv_ring,
+            ..
+        } = self;
+        for win in recv_windows.iter_mut() {
+            if recv_ring.is_full() {
+                break;
+            }
+            if win.buffered() > 0 {
+                Self::drain_window_into(win, recv_ring);
+            }
+        }
+    }
+
     // ---- extraction ------------------------------------------------------
 
     /// `FM_extract`: deliver up to `max` messages to their handlers.
-    /// Returns the number delivered. Also paces retransmissions and
+    /// Returns the number delivered. Also advances the virtual clock,
+    /// services retransmission timers, paces bounce retransmissions and
     /// flushes acknowledgements and handler-issued sends.
     pub fn extract(&mut self, max: usize) -> usize {
+        self.now += 1;
+        self.service_timers();
         self.retransmit_some();
         let mut delivered = 0;
         while delivered < max {
+            if self.recv_ring.is_empty() {
+                // Delivering freed ring space; see whether reorder buffers
+                // can refill it before giving up.
+                self.drain_all_windows();
+                if self.recv_ring.is_empty() {
+                    break;
+                }
+            }
             let Some(frame) = self.recv_ring.pop() else {
                 break;
             };
@@ -318,6 +564,7 @@ impl EndpointCore {
                 delivered += 1;
             }
         }
+        self.drain_all_windows();
         self.flush_deferred();
         self.flush_acks(true);
         delivered
@@ -328,7 +575,23 @@ impl EndpointCore {
     fn deliver(&mut self, frame: WireFrame) -> bool {
         match self.registry.take(frame.handler) {
             Some(mut h) => {
-                h(&mut self.outbox, frame.src, &frame.payload);
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    h(&mut self.outbox, frame.src, &frame.payload)
+                }));
+                if outcome.is_err() {
+                    // The handler panicked. Its internal state is suspect,
+                    // so it is dropped rather than put back (later frames
+                    // for this id count as unknown_handler), and any sends
+                    // it queued before dying are discarded — a half-built
+                    // causal burst must not escape. The node itself keeps
+                    // running: one bad handler cannot wedge the cluster.
+                    self.stats.handler_panics += 1;
+                    let mut queued = std::mem::take(&mut self.outbox_scratch);
+                    self.outbox.swap_queued(&mut queued);
+                    queued.clear();
+                    self.outbox_scratch = queued;
+                    return false;
+                }
                 self.registry.put_back(frame.handler, h);
                 self.stats.delivered += 1;
                 // Flush handler sends immediately so causally-related
@@ -357,12 +620,72 @@ impl EndpointCore {
         }
     }
 
+    /// Fire expired retransmission timers: resend frames whose ack never
+    /// came (covering both lost data and lost acks), and declare peers dead
+    /// once a frame exhausts its retry budget. O(1) on the clean path via
+    /// the reject queue's cached earliest deadline.
+    fn service_timers(&mut self) {
+        if !self.sender.timer_due(self.now) {
+            return;
+        }
+        let mut retx = std::mem::take(&mut self.retx_scratch);
+        let mut failed = std::mem::take(&mut self.fail_scratch);
+        self.sender.fire_timers(
+            self.now,
+            |_slot, frame| retx.push(frame.clone()),
+            |_slot, frame| failed.push(frame),
+        );
+        for mut frame in retx.drain(..) {
+            frame.piggy = self.acks.take_piggy(frame.dst);
+            self.stats.retransmitted += 1;
+            self.stats.timer_retransmits += 1;
+            self.outgoing.push_back(frame);
+        }
+        self.retx_scratch = retx;
+        for frame in failed.drain(..) {
+            self.stats.unreachable_drops += 1; // the frame that gave up
+            self.mark_dead(frame.dst);
+        }
+        self.fail_scratch = failed;
+    }
+
+    /// Declare `peer` dead and purge every piece of state that would
+    /// otherwise wedge waiting on it: in-flight window slots, queued wire
+    /// frames, deferred handler sends, pending acks and reorder buffers.
+    /// Surviving traffic to other peers is untouched — this is graceful
+    /// degradation, not shutdown.
+    fn mark_dead(&mut self, peer: NodeId) {
+        let idx = peer.index();
+        if idx >= self.dead.len() {
+            self.dead.resize(idx + 1, false);
+        }
+        if self.dead[idx] {
+            return;
+        }
+        self.dead[idx] = true;
+        self.newly_dead.push(peer);
+        let mut drops = 0u64;
+        self.sender.release_where(|f| f.dst == peer, |_f| drops += 1);
+        let before = self.outgoing.len();
+        self.outgoing.retain(|f| f.dst != peer);
+        drops += (before - self.outgoing.len()) as u64;
+        let before = self.deferred.len();
+        self.deferred.retain(|(dst, _, _)| *dst != peer);
+        drops += (before - self.deferred.len()) as u64;
+        self.acks.purge(peer);
+        if let Some(win) = self.recv_windows.get_mut(idx) {
+            drops += win.clear_buffered() as u64;
+        }
+        self.stats.unreachable_drops += drops;
+    }
+
     fn retransmit_some(&mut self) {
         for _ in 0..self.config.retransmit_per_extract {
-            let Some((_slot, frame)) = self.sender.pop_retransmit() else {
+            // Bounced frames were normalized back to Data form in on_wire,
+            // so they go straight out with fresh acks attached.
+            let Some((_slot, mut frame)) = self.sender.pop_retransmit(self.now) else {
                 break;
             };
-            let mut frame = frame.into_retransmit();
             frame.piggy = self.acks.take_piggy(frame.dst);
             self.stats.retransmitted += 1;
             self.outgoing.push_back(frame);
@@ -371,14 +694,17 @@ impl EndpointCore {
 
     fn flush_deferred(&mut self) {
         while let Some((dst, handler, payload)) = self.deferred.pop_front() {
-            let Some((slot, seq)) = self.sender.begin_send() else {
+            if self.is_dead(dst) {
+                // The peer died while this send was parked; drop it.
+                self.stats.unreachable_drops += 1;
+                continue;
+            }
+            if !self.sender.can_send() {
                 self.deferred.push_front((dst, handler, payload));
                 break;
-            };
-            let mut frame = WireFrame::data(self.id, dst, handler, slot, seq, payload);
-            frame.piggy = self.acks.take_piggy(dst);
-            self.outgoing.push_back(frame);
-            self.stats.sent += 1;
+            }
+            let queued = self.queue_data_frame(dst, handler, payload);
+            debug_assert!(queued.is_ok(), "can_send checked above");
         }
     }
 
@@ -411,13 +737,15 @@ impl EndpointCore {
     }
 
     /// True when this endpoint holds no protocol state that still needs the
-    /// network: nothing outstanding, nothing queued, nothing to extract.
+    /// network: nothing outstanding, nothing queued, nothing to extract,
+    /// nothing parked in a reorder buffer.
     pub fn is_quiescent(&self) -> bool {
         self.sender.outstanding() == 0
             && self.outgoing.is_empty()
             && self.recv_ring.is_empty()
             && self.deferred.is_empty()
             && self.acks.pending_total() == 0
+            && self.recv_buffered() == 0
     }
 }
 
@@ -525,13 +853,17 @@ mod tests {
         let hid = b.register_handler(Box::new(move |_, _, _| {
             d2.fetch_add(1, Ordering::SeqCst);
         }));
-        // Send 10 frames into a 4-deep ring without extracting: 6 bounce.
+        // Send 10 frames into a 4-deep ring without extracting. Seqs 0-3
+        // fill the ring; seq 4 is next-in-order but finds the ring full and
+        // bounces; seqs 5-9 are ahead of the in-order point, so the reorder
+        // window buffers and acks them for delivery once 4 lands.
         for i in 0..10u8 {
             a.try_send(NodeId(1), hid, vec![i]).unwrap();
         }
         pump(&mut a, &mut b);
-        assert_eq!(b.stats().rejected, 6);
-        assert_eq!(a.stats().bounced, 6);
+        assert_eq!(b.stats().rejected, 1);
+        assert_eq!(a.stats().bounced, 1);
+        assert_eq!(b.recv_buffered(), 5);
         // Drain and retransmit until everything lands.
         let mut rounds = 0;
         while delivered.load(Ordering::SeqCst) < 10 {
@@ -542,9 +874,8 @@ mod tests {
             assert!(rounds < 50, "no progress: {:?} / {:?}", a, b);
         }
         assert_eq!(delivered.load(Ordering::SeqCst), 10);
-        // At least the six original bounces retransmit; re-bounces may add
-        // more.
-        assert!(a.stats().retransmitted >= 6);
+        // The bounced in-order frame must have been retransmitted.
+        assert!(a.stats().retransmitted >= 1);
         pump(&mut a, &mut b);
         b.extract(usize::MAX);
         a.extract(usize::MAX);

@@ -1,46 +1,130 @@
-//! Return-to-sender flow control (paper Section 4.5).
+//! Return-to-sender flow control (paper Section 4.5) plus the reliability
+//! extensions the paper's lossless Myrinet let it omit.
 //!
-//! The sender side is a [`RejectQueue`] (see [`crate::queues`]) plus a
-//! sequence counter; the receiver side is an [`AckTracker`] that batches
-//! acknowledgements and prefers piggybacking them on reverse-direction data
-//! frames ("FM 1.0 optimizes further by piggybacking acknowledgements on
-//! ordinary data packets").
+//! The sender side is a [`RejectQueue`] (see [`crate::queues`]) driven by
+//! [`SenderFlow`]: an outstanding-packet window whose slots now also carry
+//! retransmission timers (exponential backoff + jitter) and a bounded retry
+//! budget, so loss of a frame *or of its ack* recovers by timeout and a
+//! peer that never answers is eventually declared dead. The receiver side
+//! is an [`AckTracker`] that batches acknowledgements and prefers
+//! piggybacking them on reverse-direction data frames ("FM 1.0 optimizes
+//! further by piggybacking acknowledgements on ordinary data packets"),
+//! plus a per-source [`SeqWindow`] that suppresses duplicates and releases
+//! frames in sequence order.
+//!
+//! Acks travel as 16-bit **ack words** ([`ack_word`]): the low 10 bits name
+//! the sender's reject-queue slot, the high 6 bits echo the slot's reuse
+//! *generation* (stamped into the frame header, [`crate::frame::WireFrame::slot_gen`]).
+//! The tag closes an ABA hazard that only exists once the network can
+//! duplicate and delay: a stale ack for a previous occupant of a recycled
+//! slot must not release the packet currently in it. The tag is the slot
+//! generation rather than the sequence number on purpose — a slot can sit
+//! unacknowledged through long backoff while the link's sequence number
+//! advances by hundreds, so a seq-derived tag aliases whenever the delta
+//! is a multiple of the tag width (observed as falsely-acked, permanently
+//! lost frames under 10% injected faults). A generation tag advances once
+//! per reuse of that slot, and each reuse requires a completed ack round
+//! trip, so a stale ack (bounded lifetime: late duplicates still in
+//! flight) can never see its tag again.
 //!
 //! Both the real threaded runtime (`fm-core::mem`) and the timed simulator
 //! (`fm-testbed`) drive these same state machines; the simulator only adds
 //! instruction-cost charges around the calls.
 
 use crate::frame::{PiggyAcks, PIGGY_MAX};
-use crate::queues::RejectQueue;
+use crate::queues::{RejectQueue, REJECT_SLOT_LIMIT};
 use fm_myrinet::NodeId;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// How many accepted-but-unacknowledged frames trigger a standalone ack
 /// frame when no reverse traffic is available to piggyback on. One full
 /// piggyback area's worth.
 pub const ACK_BATCH: usize = PIGGY_MAX;
 
+/// Bits of an ack word naming the reject-queue slot.
+pub const ACK_SLOT_BITS: u32 = 10;
+
+/// The generation tag carried in an ack word's high bits: the low 6 bits
+/// of the slot's reuse generation ([`crate::frame::WireFrame::slot_gen`]).
+#[inline]
+pub fn gen_tag(gen: u8) -> u8 {
+    gen & 0x3F
+}
+
+/// Pack a reject-queue slot and the slot's generation tag into the 16-bit
+/// ack word carried in frame piggyback areas.
+#[inline]
+pub fn ack_word(slot: u16, gen: u8) -> u16 {
+    debug_assert!((slot as usize) < REJECT_SLOT_LIMIT);
+    slot | ((gen_tag(gen) as u16) << ACK_SLOT_BITS)
+}
+
+/// Split an ack word back into (slot, generation tag).
+#[inline]
+pub fn ack_word_parts(word: u16) -> (u16, u8) {
+    (
+        word & ((1 << ACK_SLOT_BITS) - 1),
+        (word >> ACK_SLOT_BITS) as u8,
+    )
+}
+
+/// Retransmission-timer knobs shared by every slot of a [`SenderFlow`].
+/// Time is the endpoint's virtual tick (one tick per `extract`/service
+/// pass) — the protocol core has no clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetransmitConfig {
+    /// Initial per-packet retransmission timeout, in ticks.
+    pub rto_initial: u64,
+    /// Backoff cap: the rto doubles per timeout up to this.
+    pub rto_max: u64,
+    /// Timeout retransmissions per packet before the destination is
+    /// declared unreachable. Bounce retransmits are not counted — a
+    /// bouncing receiver is alive, merely full.
+    pub retry_budget: u32,
+}
+
+impl Default for RetransmitConfig {
+    fn default() -> Self {
+        RetransmitConfig {
+            rto_initial: 2048,
+            rto_max: 1 << 16,
+            retry_budget: 16,
+        }
+    }
+}
+
 /// Sender-side flow state: the outstanding-packet window and retransmission
-/// queue, parameterized over the payload token kept for bounced packets.
+/// queue, parameterized over the packet token kept per outstanding slot.
 #[derive(Debug, Clone)]
 pub struct SenderFlow<T> {
     reject: RejectQueue<T>,
-    next_seq: u32,
+    retransmit: RetransmitConfig,
+    /// Per-slot reuse generation, bumped on every reservation; its low
+    /// bits tag outgoing frames and returning acks.
+    gens: Vec<u8>,
+    /// Deterministic xorshift state for retransmission jitter.
+    jitter_state: u64,
     /// Statistics.
     pub sent: u64,
     pub retransmitted: u64,
+    pub timer_retransmits: u64,
     pub acked: u64,
     pub bounced: u64,
     pub stray_acks: u64,
 }
 
 impl<T> SenderFlow<T> {
-    pub fn new(window: usize) -> Self {
+    pub fn new(window: usize, retransmit: RetransmitConfig, jitter_seed: u64) -> Self {
+        assert!(retransmit.rto_initial > 0, "rto_initial must be positive");
+        assert!(retransmit.rto_max >= retransmit.rto_initial);
         SenderFlow {
             reject: RejectQueue::new(window),
-            next_seq: 0,
+            retransmit,
+            gens: vec![0; window],
+            jitter_state: jitter_seed | 1,
             sent: 0,
             retransmitted: 0,
+            timer_retransmits: 0,
             acked: 0,
             bounced: 0,
             stray_acks: 0,
@@ -59,27 +143,41 @@ impl<T> SenderFlow<T> {
         self.reject.has_space()
     }
 
-    /// Reserve a slot and sequence number for a fresh frame.
-    pub fn begin_send(&mut self) -> Option<(u16, u32)> {
-        let slot = self.reject.reserve()?;
-        let seq = self.next_seq;
-        self.next_seq = self.next_seq.wrapping_add(1);
+    /// Reserve a window slot for a fresh packet, arming its retransmission
+    /// timer at `now`. Attach the packet copy and tag with
+    /// [`SenderFlow::store`] once it is built around the slot id.
+    pub fn begin_send(&mut self, now: u64) -> Option<u16> {
+        let slot = self.reject.reserve(now, self.retransmit.rto_initial)?;
+        self.gens[slot as usize] = self.gens[slot as usize].wrapping_add(1);
         self.sent += 1;
-        Some((slot, seq))
+        Some(slot)
     }
 
-    /// Process an acknowledgement for `slot`.
-    pub fn on_ack(&mut self, slot: u16) {
-        if self.reject.ack(slot) {
+    /// The current reuse generation of `slot` — stamp it into the frame
+    /// header so the receiver's acks echo it.
+    pub fn gen(&self, slot: u16) -> u8 {
+        self.gens[slot as usize]
+    }
+
+    /// Attach the retransmission copy for `slot`.
+    pub fn store(&mut self, slot: u16, packet: T) {
+        self.reject.store(slot, gen_tag(self.gens[slot as usize]), packet);
+    }
+
+    /// Process one piggybacked ack word.
+    pub fn on_ack(&mut self, word: u16) {
+        let (slot, tag) = ack_word_parts(word);
+        if self.reject.ack(slot, tag) {
             self.acked += 1;
         } else {
             self.stray_acks += 1;
         }
     }
 
-    /// A frame bounced back; park it for retransmission.
-    pub fn on_bounce(&mut self, slot: u16, payload: T) -> bool {
-        let ok = self.reject.bounce(slot, payload);
+    /// A frame bounced back; park it for retransmission. `gen` is the
+    /// bounced frame's own generation tag (validates slot ownership).
+    pub fn on_bounce(&mut self, slot: u16, gen: u8, packet: T) -> bool {
+        let ok = self.reject.bounce(slot, gen_tag(gen), packet);
         if ok {
             self.bounced += 1;
         } else {
@@ -88,9 +186,13 @@ impl<T> SenderFlow<T> {
         ok
     }
 
-    /// Next parked frame to retransmit (slot stays reserved).
-    pub fn pop_retransmit(&mut self) -> Option<(u16, T)> {
-        let r = self.reject.pop_retransmit();
+    /// Next parked frame to retransmit (slot stays reserved, timer
+    /// re-armed from `now`).
+    pub fn pop_retransmit(&mut self, now: u64) -> Option<(u16, T)>
+    where
+        T: Clone,
+    {
+        let r = self.reject.pop_retransmit(now);
         if r.is_some() {
             self.retransmitted += 1;
         }
@@ -100,6 +202,181 @@ impl<T> SenderFlow<T> {
     /// Frames parked awaiting retransmission.
     pub fn pending_retransmits(&self) -> usize {
         self.reject.returned()
+    }
+
+    /// Cheap check: could any retransmission timer have expired by `now`?
+    pub fn timer_due(&self, now: u64) -> bool {
+        self.reject.timer_due(now)
+    }
+
+    /// Fire expired retransmission timers: `retransmit(slot, &packet)` per
+    /// retry, `fail(slot, packet)` for packets whose retry budget is
+    /// exhausted (the caller declares the destination unreachable).
+    pub fn fire_timers(
+        &mut self,
+        now: u64,
+        mut retransmit: impl FnMut(u16, &T),
+        fail: impl FnMut(u16, T),
+    ) {
+        let RetransmitConfig {
+            retry_budget,
+            rto_max,
+            ..
+        } = self.retransmit;
+        let jitter_state = &mut self.jitter_state;
+        let mut fired = 0u64;
+        self.reject.scan_expired(
+            now,
+            retry_budget,
+            rto_max,
+            |rto| {
+                // xorshift64: deterministic, cheap, seeded per endpoint so
+                // two nodes' retransmit storms decorrelate. Jitter is
+                // 0..rto/4.
+                let mut x = *jitter_state;
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                *jitter_state = x;
+                if rto >= 4 {
+                    x % (rto / 4)
+                } else {
+                    0
+                }
+            },
+            |slot, packet| {
+                fired += 1;
+                retransmit(slot, packet);
+            },
+            fail,
+        );
+        self.retransmitted += fired;
+        self.timer_retransmits += fired;
+    }
+
+    /// Free every outstanding slot whose packet matches `pred` (purging
+    /// traffic toward a dead peer), invoking `dropped` per packet.
+    pub fn release_where(&mut self, pred: impl FnMut(&T) -> bool, dropped: impl FnMut(T)) {
+        self.reject.release_where(pred, dropped);
+    }
+}
+
+/// Classification of an arriving sequence number against a [`SeqWindow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqClass {
+    /// Exactly the next expected sequence number: deliver now.
+    InOrder,
+    /// Already delivered or already buffered: re-acknowledge and drop.
+    Duplicate,
+    /// Ahead of the expected number but within the lookahead window:
+    /// buffer until the gap fills.
+    Ahead,
+    /// Beyond the lookahead window: refuse (bounce, unacked) so receiver
+    /// memory stays bounded even under pathological reordering.
+    TooFar,
+}
+
+/// Per-source receive window: exactly-once, in-order release of sequenced
+/// frames, tolerant of duplication and bounded reordering.
+///
+/// `next` summarizes everything already released (all seqs strictly before
+/// it), so duplicate suppression needs no bitmap; frames ahead of `next`
+/// are parked in a map keyed by sequence number until the gap fills.
+/// Comparisons use wrapping u32 arithmetic, so the window is correct across
+/// sequence-number wraparound.
+#[derive(Debug, Clone)]
+pub struct SeqWindow<T> {
+    next: u32,
+    lookahead: u32,
+    buffered: HashMap<u32, T>,
+    /// Statistics.
+    pub duplicates: u64,
+    pub too_far: u64,
+    pub buffered_high_water: usize,
+}
+
+impl<T> SeqWindow<T> {
+    pub fn new(lookahead: u32) -> Self {
+        // `lookahead == 0` is legal: it disables Ahead-buffering entirely,
+        // so any out-of-order frame bounces — the paper's original
+        // return-to-sender dynamics (delivery guaranteed, ordering by
+        // retransmission alone).
+        assert!(
+            lookahead < i32::MAX as u32,
+            "lookahead must leave room for wrapping comparison"
+        );
+        SeqWindow {
+            next: 0,
+            lookahead,
+            buffered: HashMap::new(),
+            duplicates: 0,
+            too_far: 0,
+            buffered_high_water: 0,
+        }
+    }
+
+    /// The next sequence number this window will release.
+    pub fn next_expected(&self) -> u32 {
+        self.next
+    }
+
+    /// Frames parked waiting for a gap to fill.
+    pub fn buffered(&self) -> usize {
+        self.buffered.len()
+    }
+
+    /// Classify an arriving sequence number. Pure; the caller acts on the
+    /// class (deliver / re-ack / [`SeqWindow::buffer`] / bounce).
+    pub fn classify(&mut self, seq: u32) -> SeqClass {
+        let delta = seq.wrapping_sub(self.next) as i32;
+        if delta < 0 {
+            self.duplicates += 1;
+            SeqClass::Duplicate
+        } else if delta == 0 {
+            SeqClass::InOrder
+        } else if delta as u32 <= self.lookahead {
+            if self.buffered.contains_key(&seq) {
+                self.duplicates += 1;
+                SeqClass::Duplicate
+            } else {
+                SeqClass::Ahead
+            }
+        } else {
+            self.too_far += 1;
+            SeqClass::TooFar
+        }
+    }
+
+    /// The in-order frame was released: advance the expectation.
+    pub fn advance(&mut self) {
+        self.next = self.next.wrapping_add(1);
+    }
+
+    /// Park an [`SeqClass::Ahead`] frame until the gap before it fills.
+    pub fn buffer(&mut self, seq: u32, item: T) {
+        debug_assert!({
+            let delta = seq.wrapping_sub(self.next);
+            delta >= 1 && delta <= self.lookahead
+        });
+        let prev = self.buffered.insert(seq, item);
+        debug_assert!(prev.is_none(), "classify() filters buffered duplicates");
+        self.buffered_high_water = self.buffered_high_water.max(self.buffered.len());
+    }
+
+    /// If the next expected frame is parked, release it (advancing the
+    /// expectation). Call repeatedly to drain a filled gap.
+    pub fn take_ready(&mut self) -> Option<T> {
+        let item = self.buffered.remove(&self.next)?;
+        self.advance();
+        Some(item)
+    }
+
+    /// Drop all parked frames (the source died; its unfinished reordering
+    /// state must not pin memory).
+    pub fn clear_buffered(&mut self) -> usize {
+        let n = self.buffered.len();
+        self.buffered.clear();
+        n
     }
 }
 
@@ -121,11 +398,23 @@ impl AckTracker {
         Self::default()
     }
 
-    /// Record that a data frame from `src` occupying sender slot `slot` was
-    /// accepted and must eventually be acknowledged.
-    pub fn on_accept(&mut self, src: NodeId, slot: u16) {
-        self.pending.entry(src).or_default().push(slot);
+    /// Record that a data frame from `src` occupying sender slot `slot`
+    /// with sequence number `seq` was accepted (or recognized as a
+    /// duplicate of an accepted frame) and must (re-)acknowledge. The
+    /// stored value is the packed [`ack_word`].
+    pub fn on_accept(&mut self, src: NodeId, slot: u16, gen: u8) {
+        self.pending.entry(src).or_default().push(ack_word(slot, gen));
         self.accepted += 1;
+    }
+
+    /// Drop every pending ack toward `dst` (the peer died; acks to it
+    /// would only wedge quiescence). Keeps the entry's capacity.
+    pub fn purge(&mut self, dst: NodeId) -> usize {
+        self.pending.get_mut(&dst).map_or(0, |v| {
+            let n = v.len();
+            v.clear();
+            n
+        })
     }
 
     /// Total acks pending toward `dst`.
@@ -185,17 +474,29 @@ impl AckTracker {
 mod tests {
     use super::*;
 
+    fn flow<T>(window: usize) -> SenderFlow<T> {
+        SenderFlow::new(window, RetransmitConfig::default(), 42)
+    }
+
+    #[test]
+    fn ack_word_packs_slot_and_tag() {
+        assert_eq!(ack_word_parts(ack_word(0, 0)), (0, 0));
+        assert_eq!(ack_word_parts(ack_word(1023, 0x67)), (1023, 0x27));
+        let w = ack_word(513, 0xFF);
+        assert_eq!(ack_word_parts(w), (513, 0x3F));
+    }
+
     #[test]
     fn sender_window_blocks_then_reopens() {
-        let mut s: SenderFlow<()> = SenderFlow::new(2);
-        let (a, seq_a) = s.begin_send().unwrap();
-        let (b, seq_b) = s.begin_send().unwrap();
-        assert_eq!(seq_b, seq_a + 1);
-        assert!(s.begin_send().is_none());
+        let mut s: SenderFlow<()> = flow(2);
+        let a = s.begin_send(0).unwrap();
+        let b = s.begin_send(0).unwrap();
+        assert!(s.begin_send(0).is_none());
         assert!(!s.can_send());
-        s.on_ack(a);
+        s.store(a, ());
+        s.on_ack(ack_word(a, s.gen(a)));
         assert!(s.can_send());
-        let (c, _) = s.begin_send().unwrap();
+        let c = s.begin_send(0).unwrap();
         assert_eq!(c, a, "slot recycled");
         assert_eq!(s.outstanding(), 2);
         let _ = b;
@@ -203,32 +504,75 @@ mod tests {
 
     #[test]
     fn bounce_then_retransmit_then_ack() {
-        let mut s: SenderFlow<u32> = SenderFlow::new(4);
-        let (slot, _) = s.begin_send().unwrap();
-        assert!(s.on_bounce(slot, 777));
+        let mut s: SenderFlow<u32> = flow(4);
+        let slot = s.begin_send(0).unwrap();
+        let gen = s.gen(slot);
+        s.store(slot, 777);
+        assert!(s.on_bounce(slot, gen, 777));
         assert_eq!(s.pending_retransmits(), 1);
-        let (rs, payload) = s.pop_retransmit().unwrap();
+        let (rs, payload) = s.pop_retransmit(0).unwrap();
         assert_eq!((rs, payload), (slot, 777));
         assert_eq!(s.retransmitted, 1);
-        s.on_ack(slot);
+        s.on_ack(ack_word(slot, gen));
         assert_eq!(s.acked, 1);
         assert_eq!(s.outstanding(), 0);
     }
 
     #[test]
-    fn stray_acks_counted_not_fatal() {
-        let mut s: SenderFlow<()> = SenderFlow::new(2);
-        s.on_ack(0);
-        s.on_ack(17);
+    fn stray_and_mistagged_acks_counted_not_fatal() {
+        let mut s: SenderFlow<()> = flow(2);
+        s.on_ack(ack_word(0, 0));
+        s.on_ack(ack_word(17, 0));
         assert_eq!(s.stray_acks, 2);
-        assert_eq!(s.acked, 0);
+        let slot = s.begin_send(0).unwrap();
+        let gen = s.gen(slot);
+        s.store(slot, ());
+        // Ack for the same slot under a stale generation must not free it
+        // (the previous occupant's tag is gen - 1).
+        s.on_ack(ack_word(slot, gen.wrapping_sub(1)));
+        assert_eq!(s.stray_acks, 3);
+        assert_eq!(s.outstanding(), 1);
+        s.on_ack(ack_word(slot, gen));
+        assert_eq!(s.acked, 1);
+        assert_eq!(s.outstanding(), 0);
+    }
+
+    #[test]
+    fn timer_retransmits_then_declares_peer_dead() {
+        let mut s: SenderFlow<u32> = SenderFlow::new(
+            4,
+            RetransmitConfig {
+                rto_initial: 10,
+                rto_max: 20,
+                retry_budget: 2,
+            },
+            1,
+        );
+        let slot = s.begin_send(0).unwrap();
+        s.store(slot, 555);
+        assert!(!s.timer_due(9));
+        let mut retx = 0;
+        let mut dead = Vec::new();
+        // Drive time forward until the retry budget trips.
+        for now in 10..210 {
+            if s.timer_due(now) {
+                s.fire_timers(now, |_, _| retx += 1, |_, p| dead.push(p));
+            }
+            if !dead.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(retx, 2, "budget of 2 retries before failure");
+        assert_eq!(dead, vec![555]);
+        assert_eq!(s.outstanding(), 0, "failed slot freed");
+        assert_eq!(s.timer_retransmits, 2);
     }
 
     #[test]
     fn ack_tracker_piggyback_prefers_oldest() {
         let mut a = AckTracker::new();
         for slot in 0..6 {
-            a.on_accept(NodeId(1), slot);
+            a.on_accept(NodeId(1), slot, 0);
         }
         let p = a.take_piggy(NodeId(1));
         assert_eq!(p.as_slice(), &[0, 1, 2, 3]);
@@ -247,11 +591,11 @@ mod tests {
     #[test]
     fn standalone_only_when_batch_reached() {
         let mut a = AckTracker::new();
-        a.on_accept(NodeId(1), 0);
-        a.on_accept(NodeId(1), 1);
+        a.on_accept(NodeId(1), 0, 0);
+        a.on_accept(NodeId(1), 1, 0);
         assert!(collect_standalone(&mut a, false).is_empty(), "below batch");
-        a.on_accept(NodeId(1), 2);
-        a.on_accept(NodeId(1), 3);
+        a.on_accept(NodeId(1), 2, 0);
+        a.on_accept(NodeId(1), 3, 0);
         let out = collect_standalone(&mut a, false);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0], (NodeId(1), vec![0, 1, 2, 3]));
@@ -261,9 +605,9 @@ mod tests {
     #[test]
     fn force_flush_drains_everything_in_node_order() {
         let mut a = AckTracker::new();
-        a.on_accept(NodeId(5), 50);
-        a.on_accept(NodeId(2), 20);
-        a.on_accept(NodeId(2), 21);
+        a.on_accept(NodeId(5), 50, 0);
+        a.on_accept(NodeId(2), 20, 0);
+        a.on_accept(NodeId(2), 21, 0);
         let out = collect_standalone(&mut a, true);
         assert_eq!(
             out,
@@ -277,7 +621,7 @@ mod tests {
     fn big_backlog_splits_into_frame_sized_groups() {
         let mut a = AckTracker::new();
         for slot in 0..10 {
-            a.on_accept(NodeId(1), slot);
+            a.on_accept(NodeId(1), slot, 0);
         }
         let out = collect_standalone(&mut a, true);
         let sizes: Vec<usize> = out.iter().map(|(_, v)| v.len()).collect();
@@ -293,7 +637,7 @@ mod tests {
         // free.
         let mut a = AckTracker::new();
         for round in 0..100 {
-            a.on_accept(NodeId(1), round);
+            a.on_accept(NodeId(1), round, 0);
             let p = a.take_piggy(NodeId(1));
             assert_eq!(p.as_slice(), &[round]);
         }

@@ -16,15 +16,30 @@
 //!      4     2  dst node id
 //!      6     2  handler id
 //!      8     2  sender slot id  (reject-queue reservation index)
-//!     10     2  piggyback count (only low byte used)
-//!     12     4  sender sequence number (diagnostics / reassembly aid)
-//!     16     8  piggybacked ack slots (4 x u16, unused filled with 0)
+//!     10     1  piggyback count
+//!     11     1  slot generation tag (incremented per reuse of the slot;
+//!               echoed back in ack words so a stale ack cannot release a
+//!               recycled slot — see `crate::flow::ack_word`)
+//!     12     4  sender sequence number (per-destination, drives the
+//!               receiver's duplicate-suppression window)
+//!     16     8  piggybacked ack words (4 x u16, unused filled with 0)
 //!     24     N  payload
+//!   24+N     4  CRC32 (IEEE) over header + payload, little-endian
 //! ```
 //!
-//! Acknowledgements piggyback on data frames (up to [`PIGGY_MAX`] slots);
-//! standalone `Ack` frames carry their slots in the same piggyback area and
-//! have no payload.
+//! Acknowledgements piggyback on data frames (up to [`PIGGY_MAX`] ack
+//! words, see [`crate::flow::ack_word`]); standalone `Ack` frames carry
+//! their words in the same piggyback area and have no payload.
+//!
+//! The CRC trailer is this codebase's first departure from the paper: real
+//! Myrinet delegated integrity to link-level hardware CRC, so FM 1.0 never
+//! checks. Our fault-injection layer ([`crate::fault`]) flips bits in
+//! transit, so every frame carries an end-to-end checksum. Decoding is
+//! *strict about total length* (`buf.len()` must equal header + declared
+//! payload + trailer): a bit flip in the length field then always surfaces
+//! as a structural error rather than silently moving where the CRC is read,
+//! which is what makes single-bit corruption provably detectable (see the
+//! property tests in `fm-core/tests/reliability_props.rs`).
 
 use bytes::Bytes;
 use fm_myrinet::NodeId;
@@ -38,9 +53,39 @@ pub const FM_FRAME_PAYLOAD: usize = 128;
 /// Fixed wire header size.
 pub const FM_HEADER_BYTES: usize = 24;
 
-/// Largest encoded frame: header plus a full payload. One fabric ring slot
-/// holds exactly this many bytes.
-pub const FM_FRAME_MAX: usize = FM_HEADER_BYTES + FM_FRAME_PAYLOAD;
+/// CRC32 trailer appended after the payload.
+pub const FM_CRC_BYTES: usize = 4;
+
+/// Largest encoded frame: header plus a full payload plus the CRC trailer.
+/// One fabric ring slot holds exactly this many bytes.
+pub const FM_FRAME_MAX: usize = FM_HEADER_BYTES + FM_FRAME_PAYLOAD + FM_CRC_BYTES;
+
+/// CRC32 (IEEE 802.3 polynomial, reflected), table-driven. Used for the
+/// frame trailer; public so tests and the fault injector can recompute it.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut c = !0u32;
+    for &b in bytes {
+        c = (c >> 8) ^ TABLE[((c ^ b as u32) & 0xFF) as usize];
+    }
+    !c
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
 
 /// Maximum acknowledgements piggybacked on one frame.
 pub const PIGGY_MAX: usize = 4;
@@ -69,8 +114,16 @@ pub enum CodecError {
     BadLength(u8),
     /// Piggyback count exceeds [`PIGGY_MAX`].
     BadPiggyCount(u8),
-    /// Buffer shorter than header + declared payload.
+    /// Buffer shorter than header + declared payload + CRC trailer.
     PayloadTruncated { want: usize, have: usize },
+    /// Buffer longer than header + declared payload + CRC trailer. Strict
+    /// total-length checking is what pins the CRC trailer's position, so a
+    /// corrupted length field cannot silently move where the CRC is read.
+    LengthMismatch { want: usize, have: usize },
+    /// CRC trailer does not match the frame contents: corruption in
+    /// transit. The frame is dropped and counted (`stats.corrupt`); the
+    /// sender's retransmission timer recovers it.
+    BadCrc { computed: u32, stored: u32 },
 }
 
 impl fmt::Display for CodecError {
@@ -82,6 +135,12 @@ impl fmt::Display for CodecError {
             CodecError::BadPiggyCount(c) => write!(f, "piggyback count {c} > 4"),
             CodecError::PayloadTruncated { want, have } => {
                 write!(f, "payload truncated: want {want}, have {have}")
+            }
+            CodecError::LengthMismatch { want, have } => {
+                write!(f, "frame length mismatch: want exactly {want}, have {have}")
+            }
+            CodecError::BadCrc { computed, stored } => {
+                write!(f, "CRC mismatch: computed {computed:#010x}, stored {stored:#010x}")
             }
         }
     }
@@ -98,8 +157,15 @@ pub struct WireFrame {
     pub handler: HandlerId,
     /// The sender's reject-queue slot this frame occupies until acked.
     pub slot: u16,
-    /// Per-sender sequence number (monotonic; diagnostics only — FM does
-    /// not guarantee ordering).
+    /// The slot's reuse generation at send time, echoed back in ack words.
+    /// Tags acks instead of the sequence number because a slot can sit
+    /// unacknowledged (backoff) while the link's sequence number advances
+    /// arbitrarily far — a seq-derived tag then aliases on any multiple of
+    /// its width, but a generation only advances one ack round-trip per
+    /// step (see [`crate::flow::ack_word`]).
+    pub slot_gen: u8,
+    /// Per-(src, dst) sequence number. The reliability layer uses it for
+    /// duplicate suppression and in-order delivery at the receiver.
     pub seq: u32,
     /// Piggybacked acknowledgement slots (acks for frames *we* received
     /// from `dst`).
@@ -171,6 +237,7 @@ impl WireFrame {
             dst,
             handler,
             slot,
+            slot_gen: 0,
             seq,
             piggy: PiggyAcks::new(),
             payload,
@@ -186,6 +253,7 @@ impl WireFrame {
             dst,
             handler: HandlerId(0),
             slot: 0,
+            slot_gen: 0,
             seq: 0,
             piggy: PiggyAcks::from_slice(slots),
             payload: Bytes::new(),
@@ -210,9 +278,10 @@ impl WireFrame {
         self
     }
 
-    /// Total bytes this frame occupies on the wire.
+    /// Total bytes this frame occupies on the wire (header + payload +
+    /// CRC trailer).
     pub fn wire_bytes(&self) -> usize {
-        FM_HEADER_BYTES + self.payload.len()
+        FM_HEADER_BYTES + self.payload.len() + FM_CRC_BYTES
     }
 
     /// Encode directly into `buf` (at least [`Self::wire_bytes`] long,
@@ -221,19 +290,23 @@ impl WireFrame {
     pub fn encode_into(&self, buf: &mut [u8]) -> usize {
         let n = self.wire_bytes();
         assert!(buf.len() >= n, "encode buffer too small: {} < {n}", buf.len());
+        let body = n - FM_CRC_BYTES;
         buf[0] = self.kind as u8;
         buf[1] = self.payload.len() as u8;
         buf[2..4].copy_from_slice(&self.src.0.to_le_bytes());
         buf[4..6].copy_from_slice(&self.dst.0.to_le_bytes());
         buf[6..8].copy_from_slice(&self.handler.0.to_le_bytes());
         buf[8..10].copy_from_slice(&self.slot.to_le_bytes());
-        buf[10..12].copy_from_slice(&(self.piggy.len() as u16).to_le_bytes());
+        buf[10] = self.piggy.len() as u8;
+        buf[11] = self.slot_gen;
         buf[12..16].copy_from_slice(&self.seq.to_le_bytes());
         for i in 0..PIGGY_MAX {
             let s = *self.piggy.slots.get(i).unwrap_or(&0);
             buf[16 + 2 * i..18 + 2 * i].copy_from_slice(&s.to_le_bytes());
         }
-        buf[FM_HEADER_BYTES..n].copy_from_slice(&self.payload);
+        buf[FM_HEADER_BYTES..body].copy_from_slice(&self.payload);
+        let crc = crc32(&buf[..body]);
+        buf[body..n].copy_from_slice(&crc.to_le_bytes());
         n
     }
 
@@ -269,16 +342,28 @@ impl WireFrame {
             return Err(CodecError::BadLength(len));
         }
         let rd16 = |o: usize| u16::from_le_bytes([buf[o], buf[o + 1]]);
-        let piggy_count = rd16(10);
+        let piggy_count = buf[10];
         if piggy_count as usize > PIGGY_MAX {
-            return Err(CodecError::BadPiggyCount(piggy_count as u8));
+            return Err(CodecError::BadPiggyCount(piggy_count));
         }
-        let want = FM_HEADER_BYTES + len as usize;
+        let body = FM_HEADER_BYTES + len as usize;
+        let want = body + FM_CRC_BYTES;
         if buf.len() < want {
             return Err(CodecError::PayloadTruncated {
                 want,
                 have: buf.len(),
             });
+        }
+        if buf.len() > want {
+            return Err(CodecError::LengthMismatch {
+                want,
+                have: buf.len(),
+            });
+        }
+        let stored = u32::from_le_bytes([buf[body], buf[body + 1], buf[body + 2], buf[body + 3]]);
+        let computed = crc32(&buf[..body]);
+        if computed != stored {
+            return Err(CodecError::BadCrc { computed, stored });
         }
         let mut piggy = PiggyAcks::new();
         for i in 0..piggy_count as usize {
@@ -290,9 +375,10 @@ impl WireFrame {
             dst: NodeId(rd16(4)),
             handler: HandlerId(rd16(6)),
             slot: rd16(8),
+            slot_gen: buf[11],
             seq: u32::from_le_bytes([buf[12], buf[13], buf[14], buf[15]]),
             piggy,
-            payload: Bytes::copy_from_slice(&buf[FM_HEADER_BYTES..want]),
+            payload: Bytes::copy_from_slice(&buf[FM_HEADER_BYTES..body]),
         })
     }
 }
@@ -319,7 +405,7 @@ mod tests {
     fn roundtrip_data_frame() {
         let f = sample();
         let enc = f.encode();
-        assert_eq!(enc.len(), FM_HEADER_BYTES + 8);
+        assert_eq!(enc.len(), FM_HEADER_BYTES + 8 + FM_CRC_BYTES);
         let d = WireFrame::decode(&enc).unwrap();
         assert_eq!(d, f);
     }
@@ -336,7 +422,7 @@ mod tests {
     #[test]
     fn roundtrip_empty_payload() {
         let f = WireFrame::data(NodeId(0), NodeId(1), HandlerId(0), 0, 0, Bytes::new());
-        assert_eq!(f.wire_bytes(), FM_HEADER_BYTES);
+        assert_eq!(f.wire_bytes(), FM_HEADER_BYTES + FM_CRC_BYTES);
         assert_eq!(WireFrame::decode(&f.encode()).unwrap(), f);
     }
 
@@ -399,6 +485,43 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_payload_fails_crc() {
+        let mut enc = sample().encode().to_vec();
+        enc[FM_HEADER_BYTES] ^= 0x01; // first payload byte
+        assert!(matches!(
+            WireFrame::decode_slice(&enc),
+            Err(CodecError::BadCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_trailer_fails_crc() {
+        let mut enc = sample().encode().to_vec();
+        let last = enc.len() - 1;
+        enc[last] ^= 0x80;
+        assert!(matches!(
+            WireFrame::decode_slice(&enc),
+            Err(CodecError::BadCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_header_detected() {
+        // A flip in the seq field (not covered by any structural check)
+        // must still be caught by the CRC.
+        let mut enc = sample().encode().to_vec();
+        enc[13] ^= 0x10;
+        assert!(WireFrame::decode_slice(&enc).is_err());
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The IEEE CRC32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
     fn return_and_retransmit_are_inverses() {
         let f = sample();
         let bounced = f.clone().into_return();
@@ -426,9 +549,9 @@ mod tests {
     }
 
     #[test]
-    fn wire_bytes_includes_header() {
+    fn wire_bytes_includes_header_and_crc() {
         let f = sample();
-        assert_eq!(f.wire_bytes(), 24 + 8);
+        assert_eq!(f.wire_bytes(), 24 + 8 + 4);
     }
 
     #[test]
@@ -449,8 +572,14 @@ mod tests {
             let n = f.encode_into(&mut slot);
             assert_eq!(&slot[..n], &f.encode()[..]);
             assert_eq!(WireFrame::decode_slice(&slot[..n]).unwrap(), f);
-            // Trailing slot garbage past the declared length is ignored.
-            assert_eq!(WireFrame::decode_slice(&slot).unwrap(), f);
+            // Trailing slot bytes past the declared length are rejected:
+            // strict total length pins the CRC trailer's position.
+            if n < slot.len() {
+                assert!(matches!(
+                    WireFrame::decode_slice(&slot),
+                    Err(CodecError::LengthMismatch { .. })
+                ));
+            }
         }
     }
 

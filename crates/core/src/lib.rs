@@ -43,10 +43,22 @@
 //! [`seg`] module implements that prescription as a documented extension
 //! used by `fm-mpi` and the examples, and [`stream`] builds ordered byte
 //! streams (the paper's TCP-over-FM direction) on top of it.
+//!
+//! **Beyond the paper — reliability layer.** The paper's fabric (Myrinet)
+//! had a bit error rate low enough to treat the wire as perfect; ours is a
+//! shared-memory stand-in, so we go further and make loss, duplication and
+//! corruption *first-class testable events*: every frame carries a CRC32
+//! trailer ([`frame::crc32`]), receivers suppress duplicates and restore
+//! order with per-source sequence windows ([`flow::SeqWindow`]), senders
+//! run exponential-backoff retransmission timers over the reject queue and
+//! declare unresponsive peers dead after a bounded retry budget
+//! ([`SendError::PeerUnreachable`]), and [`fault`] injects seeded,
+//! deterministic faults underneath it all to prove the machinery works.
 
 pub mod context;
 pub mod endpoint;
 pub mod fabric;
+pub mod fault;
 pub mod flow;
 pub mod frame;
 pub mod handler;
@@ -55,11 +67,16 @@ pub mod queues;
 pub mod seg;
 pub mod stream;
 
-pub use endpoint::{EndpointCore, EndpointStats, SendError};
+pub use endpoint::{EndpointConfig, EndpointCore, EndpointStats, SendError};
 pub use fabric::{spsc_ring, BufferPool, RingConsumer, RingProducer};
-pub use frame::{FrameKind, WireFrame, FM_FRAME_MAX, FM_FRAME_PAYLOAD, FM_HEADER_BYTES};
+pub use fault::{FaultConfig, FaultEvent, FaultInjector, FaultKind, FaultStats, LinkFaults};
+pub use flow::{ack_word, ack_word_parts, gen_tag, RetransmitConfig, SeqClass, SeqWindow};
+pub use frame::{
+    crc32, CodecError, FrameKind, WireFrame, FM_CRC_BYTES, FM_FRAME_MAX, FM_FRAME_PAYLOAD,
+    FM_HEADER_BYTES,
+};
 pub use handler::{Handler, HandlerId, HandlerRegistry, Outbox};
-pub use mem::{MemCluster, MemEndpoint};
+pub use mem::{ClusterRunner, FabricKind, MemCluster, MemEndpoint, ShutdownError};
 
 // FM addresses nodes with the same ids the network does.
 pub use fm_myrinet::NodeId;

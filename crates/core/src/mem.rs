@@ -25,11 +25,14 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use fm_myrinet::NodeId;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::endpoint::{EndpointConfig, EndpointCore, EndpointStats, SendError};
 use crate::fabric::{spsc_ring, RingConsumer, RingProducer};
-use crate::frame::WireFrame;
+use crate::fault::{flip_bit, FaultConfig, FaultEvent, FaultInjector, FaultStats, OutboundFrame};
+use crate::frame::{CodecError, WireFrame};
 use crate::handler::{HandlerId, Outbox};
 use crate::seg::{self, Reassembly};
 
@@ -104,6 +107,24 @@ impl MemCluster {
         Self::with_fabric(n, config, FabricKind::Ring)
     }
 
+    /// `n` endpoints with explicit sizing, an explicit wire fabric, and a
+    /// [`FaultInjector`] decorating every node's transmit path — the
+    /// fault-injection harness for the reliability layer. The underlying
+    /// wire (ring or channel) is untouched; faults are applied to frames
+    /// before they reach it, per the seeded plan in `faults`.
+    pub fn with_faulty_fabric(
+        n: usize,
+        config: EndpointConfig,
+        fabric: FabricKind,
+        faults: FaultConfig,
+    ) -> Vec<MemEndpoint> {
+        let mut nodes = Self::with_fabric(n, config, fabric);
+        for ep in &mut nodes {
+            ep.faults = Some(FaultInjector::new(ep.node_id(), n, &faults));
+        }
+        nodes
+    }
+
     /// `n` endpoints with explicit sizing and an explicit wire fabric.
     pub fn with_fabric(n: usize, config: EndpointConfig, fabric: FabricKind) -> Vec<MemEndpoint> {
         assert!(n >= 1, "a cluster needs at least one node");
@@ -168,7 +189,9 @@ pub struct MemEndpoint {
     /// Frames that found their destination ring full; re-offered on every
     /// flush. Bounded in practice by the send window plus one extract
     /// round's worth of acks, because everything in `core.outgoing` is.
-    backlog: VecDeque<WireFrame>,
+    /// Entries carry their already-decided fault treatment so full-ring
+    /// backpressure never re-rolls the fault dice.
+    backlog: VecDeque<OutboundFrame>,
     /// Reassembled messages waiting for their large handler.
     completed_large: CompletedLarge,
     reasm: Arc<Mutex<Reassembly>>,
@@ -176,8 +199,15 @@ pub struct MemEndpoint {
     /// Large-handler sends that found the window full.
     deferred: VecDeque<(NodeId, HandlerId, Bytes)>,
     next_msg_id: u32,
-    /// Frames that failed to decode (would indicate wire corruption).
+    /// Fault stage decorating the transmit path (None on a clean cluster).
+    faults: Option<FaultInjector>,
+    /// Frames that failed to decode for *structural* reasons (bad kind,
+    /// impossible length); CRC failures are counted separately in
+    /// [`EndpointStats::corrupt`].
     pub codec_errors: u64,
+    /// Large-message handlers that panicked (the handler is dropped; later
+    /// completions for its id are discarded).
+    pub large_handler_panics: u64,
 }
 
 impl MemEndpoint {
@@ -207,7 +237,9 @@ impl MemEndpoint {
             large_handlers: Vec::new(),
             deferred: VecDeque::new(),
             next_msg_id: 0,
+            faults: None,
             codec_errors: 0,
+            large_handler_panics: 0,
         }
     }
 
@@ -287,7 +319,27 @@ impl MemEndpoint {
     /// `FM_send`: blocking send of up to 128 bytes. While the window is
     /// full this services the network (including delivering messages) so a
     /// pair of mutually-sending nodes cannot deadlock on window space.
+    ///
+    /// # Panics
+    /// On [`SendError::TooLarge`] (use `send_large`) and on
+    /// [`SendError::PeerUnreachable`] — a blocking send to a dead peer
+    /// fails fast rather than spinning forever. Use [`Self::send_checked`]
+    /// or [`Self::try_send`] where dead peers are an expected outcome.
     pub fn send(&mut self, dst: NodeId, handler: HandlerId, payload: &[u8]) {
+        if let Err(e) = self.send_checked(dst, handler, payload) {
+            panic!("FM_send: {e}");
+        }
+    }
+
+    /// Blocking send that surfaces terminal failures instead of panicking:
+    /// blocks through `WouldBlock`, returns `Err` on `TooLarge` or
+    /// `PeerUnreachable` (including a peer declared dead *while* blocking).
+    pub fn send_checked(
+        &mut self,
+        dst: NodeId,
+        handler: HandlerId,
+        payload: &[u8],
+    ) -> Result<(), SendError> {
         let payload = Bytes::copy_from_slice(payload);
         loop {
             match self.core.try_send(dst, handler, payload.clone()) {
@@ -296,12 +348,11 @@ impl MemEndpoint {
                     self.service();
                     std::thread::yield_now();
                 }
-                Err(e @ SendError::TooLarge { .. }) => {
-                    panic!("FM_send: {e}; use send_large for multi-frame messages")
-                }
+                Err(e) => return Err(e),
             }
         }
         self.flush_wire();
+        Ok(())
     }
 
     /// `FM_send_4`: blocking four-word send.
@@ -328,7 +379,7 @@ impl MemEndpoint {
                     self.service();
                     std::thread::yield_now();
                 }
-                Err(e) => unreachable!("length checked above: {e}"),
+                Err(e) => panic!("FM_send (gather): {e}"),
             }
         }
         self.flush_wire();
@@ -360,6 +411,7 @@ impl MemEndpoint {
     pub fn extract_budget(&mut self, max: usize) -> usize {
         self.pump_wire();
         let n = self.core.extract(max);
+        self.reap_dead_peers();
         self.flush_deferred();
         self.flush_wire();
         n + self.dispatch_large()
@@ -372,10 +424,22 @@ impl MemEndpoint {
     /// receiver to be extracting concurrently (its own thread), because
     /// the window only reopens as the receiver acknowledges fragments —
     /// the same discipline real FM imposed on its hosts.
-    pub fn send_large(&mut self, dst: NodeId, large_handler: HandlerId, data: &[u8]) {
+    /// Returns `Err(PeerUnreachable)` if `dst` is (or becomes) dead;
+    /// fragments already sent are abandoned and the receiver's partial
+    /// reassembly is aborted by its own dead-peer handling.
+    pub fn send_large(
+        &mut self,
+        dst: NodeId,
+        large_handler: HandlerId,
+        data: &[u8],
+    ) -> Result<(), SendError> {
         let msg_id = self.next_msg_id;
         self.next_msg_id = self.next_msg_id.wrapping_add(1);
+        let mut result = Ok(());
         seg::fragment_each(msg_id, large_handler, data, |frag| {
+            if result.is_err() {
+                return; // peer died mid-message; skip remaining fragments
+            }
             loop {
                 match self.core.try_send(dst, SEG_HANDLER, frag.clone()) {
                     Ok(()) => break,
@@ -383,11 +447,16 @@ impl MemEndpoint {
                         self.service();
                         std::thread::yield_now();
                     }
-                    Err(e) => unreachable!("fragments always fit a frame: {e}"),
+                    Err(e @ SendError::PeerUnreachable(_)) => {
+                        result = Err(e);
+                        return;
+                    }
+                    Err(e) => panic!("fragments always fit a frame: {e}"),
                 }
             }
             self.flush_wire();
         });
+        result
     }
 
     /// Service the network: pull frames off the wire, deliver anything
@@ -399,6 +468,7 @@ impl MemEndpoint {
         // nodes sending to each other through full windows would deadlock —
         // so servicing extracts with an unlimited budget.
         self.core.extract(usize::MAX);
+        self.reap_dead_peers();
         self.flush_deferred();
         self.flush_wire();
         self.dispatch_large();
@@ -411,6 +481,30 @@ impl MemEndpoint {
             && self.deferred.is_empty()
             && self.completed_large.lock().is_empty()
             && self.reasm.lock().in_progress() == 0
+            && self.faults.as_ref().is_none_or(|f| f.idle())
+    }
+
+    /// True when `peer` has been declared dead (retry budget exhausted).
+    pub fn is_peer_dead(&self, peer: NodeId) -> bool {
+        self.core.is_dead(peer)
+    }
+
+    /// Clear the dead mark for `peer` (see
+    /// [`crate::endpoint::EndpointCore::revive_peer`]).
+    pub fn revive_peer(&mut self, peer: NodeId) {
+        self.core.revive_peer(peer);
+    }
+
+    /// Fault-injection counters, when this endpoint's transmit path has an
+    /// injector attached (see [`MemCluster::with_faulty_fabric`]).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
+    }
+
+    /// Recorded fault events (most recent first ones retained), when an
+    /// injector is attached.
+    pub fn fault_events(&self) -> Option<impl Iterator<Item = &FaultEvent>> {
+        self.faults.as_ref().map(|f| f.events())
     }
 
     /// Messages outstanding in the send window.
@@ -433,6 +527,15 @@ impl MemEndpoint {
             codec_errors,
             ..
         } = self;
+        // CRC failures are expected under fault injection and are counted
+        // on the endpoint (the retransmission timer recovers the frame);
+        // structural decode failures would mean a codec bug and keep their
+        // own counter.
+        let mut sink = |bytes: &[u8]| match WireFrame::decode_slice(bytes) {
+            Ok(frame) => core.on_wire(frame),
+            Err(CodecError::BadCrc { .. }) => core.note_corrupt(),
+            Err(_) => *codec_errors += 1,
+        };
         match wire_rx {
             WireRx::Ring(consumers) => {
                 // Round-robin over peers in bounded batches until a full
@@ -441,12 +544,7 @@ impl MemEndpoint {
                 loop {
                     let mut drained = 0;
                     for c in consumers.iter_mut().flatten() {
-                        drained += c.poll_batch(WIRE_POLL_BATCH, |bytes| {
-                            match WireFrame::decode_slice(bytes) {
-                                Ok(frame) => core.on_wire(frame),
-                                Err(_) => *codec_errors += 1,
-                            }
-                        });
+                        drained += c.poll_batch(WIRE_POLL_BATCH, &mut sink);
                     }
                     if drained == 0 {
                         break;
@@ -455,56 +553,100 @@ impl MemEndpoint {
             }
             WireRx::Channel(rx) => {
                 while let Ok(bytes) = rx.try_recv() {
-                    match WireFrame::decode_slice(&bytes) {
-                        Ok(frame) => core.on_wire(frame),
-                        Err(_) => *codec_errors += 1,
-                    }
+                    sink(&bytes);
                 }
             }
         }
     }
 
     fn flush_wire(&mut self) {
-        // Re-offer frames an earlier flush found a full ring for. Rotation
-        // can reorder frames to one destination, which FM permits (Table 3:
-        // delivery guaranteed, ordering not).
+        // Re-offer frames an earlier flush found a full ring for (their
+        // fault fate, if any, was decided on first emission). Rotation can
+        // reorder frames to one destination, which FM permits (Table 3:
+        // delivery guaranteed, ordering not) and the receive sequence
+        // window now repairs.
         for _ in 0..self.backlog.len() {
-            let frame = self.backlog.pop_front().expect("len checked");
-            if let Some(frame) = self.offer(frame) {
-                self.backlog.push_back(frame);
+            let Some(of) = self.backlog.pop_front() else {
+                break;
+            };
+            if let Some(of) = self.offer(of) {
+                self.backlog.push_back(of);
             }
         }
-        while let Some(frame) = self.core.pop_outgoing() {
-            if let Some(frame) = self.offer(frame) {
-                self.backlog.push_back(frame);
+        // New traffic from the protocol core, through the fault stage when
+        // one is attached.
+        let now = self.core.now();
+        loop {
+            let next = match self.faults.as_mut() {
+                None => self.core.pop_outgoing().map(OutboundFrame::clean),
+                Some(inj) => {
+                    inj.release_due(now);
+                    loop {
+                        if let Some(of) = inj.pop_ready() {
+                            break Some(of);
+                        }
+                        match self.core.pop_outgoing() {
+                            Some(frame) => inj.admit(frame, now),
+                            None => break None,
+                        }
+                    }
+                }
+            };
+            let Some(of) = next else { break };
+            if let Some(of) = self.offer(of) {
+                self.backlog.push_back(of);
             }
         }
     }
 
-    /// Put `frame` on the wire toward its destination. Returns the frame
-    /// back when the destination ring is full; `None` when it was sent (or
+    /// Put one frame on the wire toward its destination, applying any
+    /// decided bit corruption to the encoded image. Returns the frame back
+    /// when the destination ring is full; `None` when it was sent (or
     /// dropped because the destination is outside the cluster / hung up —
     /// undeliverable either way).
-    fn offer(&mut self, frame: WireFrame) -> Option<WireFrame> {
-        let dst = frame.dst.index();
+    fn offer(&mut self, of: OutboundFrame) -> Option<OutboundFrame> {
+        let dst = of.frame.dst.index();
         match self.wire_tx.get_mut(dst) {
             None | Some(None) => None,
             Some(Some(WireTx::Ring(producer))) => {
                 // Zero-copy fast path: encode straight into the ring slot.
-                if producer.try_push_with(|slot| frame.encode_into(slot)) {
+                let frame = &of.frame;
+                let corrupt_bit = of.corrupt_bit;
+                if producer.try_push_with(|slot| {
+                    let n = frame.encode_into(slot);
+                    if let Some(bit) = corrupt_bit {
+                        flip_bit(&mut slot[..n], bit);
+                    }
+                    n
+                }) {
                     None
                 } else {
-                    Some(frame)
+                    Some(of)
                 }
             }
             Some(Some(WireTx::Channel(tx))) => {
                 // Baseline path: one heap allocation and a locked queue per
                 // frame.
-                let mut buf = vec![0u8; frame.wire_bytes()];
-                frame.encode_into(&mut buf);
+                let mut buf = vec![0u8; of.frame.wire_bytes()];
+                of.frame.encode_into(&mut buf);
+                if let Some(bit) = of.corrupt_bit {
+                    flip_bit(&mut buf, bit);
+                }
                 let _ = tx.send(buf.into_boxed_slice());
                 None
             }
+        }
+    }
+
+    /// Purge per-endpoint state tied to peers the protocol core just
+    /// declared dead: partially reassembled large messages from them,
+    /// backlogged frames to them, and deferred sends to them. Keeps a
+    /// stalled peer from wedging reassembly or quiescence forever.
+    fn reap_dead_peers(&mut self) {
+        for peer in self.core.take_newly_dead() {
+            self.reasm.lock().abort_source(peer);
+            self.backlog.retain(|of| of.frame.dst != peer);
+            self.deferred.retain(|(dst, _, _)| *dst != peer);
         }
     }
 
@@ -516,7 +658,9 @@ impl MemEndpoint {
                     self.deferred.push_front((dst, handler, payload));
                     break;
                 }
-                Err(SendError::TooLarge { .. }) => unreachable!("checked at queue time"),
+                // TooLarge was checked at queue time; a dead peer's sends
+                // are dropped (reap_dead_peers purges the rest).
+                Err(_) => {}
             }
         }
     }
@@ -536,14 +680,25 @@ impl MemEndpoint {
                 continue;
             };
             let mut outbox = Outbox::new(self.core.id());
-            h(&mut outbox, src, msg);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                h(&mut outbox, src, msg)
+            }));
+            if outcome.is_err() {
+                // Poisoned handler: drop it and whatever it queued; the
+                // node keeps running (mirrors EndpointCore's frame-handler
+                // panic tolerance).
+                self.large_handler_panics += 1;
+                continue;
+            }
             self.large_handlers[idx] = Some(h);
             n += 1;
             for (dst, hid, payload) in outbox.drain().collect::<Vec<_>>() {
                 match self.core.try_send(dst, hid, payload.clone()) {
                     Ok(()) => {}
                     Err(SendError::WouldBlock) => self.deferred.push_back((dst, hid, payload)),
-                    Err(SendError::TooLarge { .. }) => unreachable!(),
+                    // Dead peer or oversize: the reply is dropped, the node
+                    // carries on.
+                    Err(_) => {}
                 }
             }
         }
@@ -558,7 +713,109 @@ impl std::fmt::Debug for MemEndpoint {
             .field("core", &self.core)
             .field("backlog", &self.backlog.len())
             .field("deferred", &self.deferred.len())
+            .field("faults", &self.faults)
             .finish()
+    }
+}
+
+/// Why [`ClusterRunner::shutdown`] failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShutdownError {
+    /// The node's service thread did not finish within the timeout.
+    Timeout { node: NodeId },
+    /// The node's service thread panicked.
+    Panicked { node: NodeId },
+}
+
+impl std::fmt::Display for ShutdownError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShutdownError::Timeout { node } => {
+                write!(f, "node {} did not shut down within the timeout", node.0)
+            }
+            ShutdownError::Panicked { node } => {
+                write!(f, "node {}'s service thread panicked", node.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShutdownError {}
+
+/// Runs one service-loop thread per endpoint, with clean shutdown.
+///
+/// Each thread spins `extract()` until asked to stop, then performs a few
+/// drain rounds so in-flight acks land before the endpoint is returned.
+/// [`ClusterRunner::shutdown`] bounds how long it will wait for the
+/// threads to join; dropping the runner stops the threads and detaches
+/// from any that refuse to die rather than blocking forever.
+pub struct ClusterRunner {
+    stop: Arc<AtomicBool>,
+    handles: Vec<(NodeId, std::thread::JoinHandle<MemEndpoint>)>,
+}
+
+impl ClusterRunner {
+    /// Spawn one service thread per endpoint. Register all handlers and
+    /// queue any kick-off sends *before* calling this — the endpoints move
+    /// into their threads.
+    pub fn start(nodes: Vec<MemEndpoint>) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles = nodes
+            .into_iter()
+            .map(|mut ep| {
+                let stop = stop.clone();
+                let id = ep.node_id();
+                let handle = std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        ep.extract();
+                        std::thread::yield_now();
+                    }
+                    // Final drain: let trailing acks/retransmissions land so
+                    // peers can quiesce even when traffic was in flight at
+                    // the moment of shutdown.
+                    for _ in 0..8 {
+                        ep.extract();
+                        std::thread::yield_now();
+                    }
+                    ep
+                });
+                (id, handle)
+            })
+            .collect();
+        ClusterRunner { stop, handles }
+    }
+
+    /// Signal every service thread to stop and join them, waiting at most
+    /// `timeout` overall. Returns the endpoints (in node order) so callers
+    /// can inspect final stats. On timeout the unjoined threads are left
+    /// detached — they hold only their endpoint, which is dropped when the
+    /// thread eventually exits.
+    pub fn shutdown(mut self, timeout: Duration) -> Result<Vec<MemEndpoint>, ShutdownError> {
+        self.stop.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + timeout;
+        let mut out = Vec::with_capacity(self.handles.len());
+        for (id, handle) in self.handles.drain(..) {
+            while !handle.is_finished() {
+                if Instant::now() >= deadline {
+                    return Err(ShutdownError::Timeout { node: id });
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            match handle.join() {
+                Ok(ep) => out.push(ep),
+                Err(_) => return Err(ShutdownError::Panicked { node: id }),
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for ClusterRunner {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for (_, handle) in self.handles.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -668,7 +925,7 @@ mod tests {
             }
             b
         });
-        a.send_large(NodeId(1), lh, &payload);
+        a.send_large(NodeId(1), lh, &payload).expect("peer alive");
         let b = tb.join().unwrap();
         assert_eq!(got.load(Ordering::SeqCst), 1);
         let (frags, completed) = b.reassembly_stats();

@@ -180,16 +180,37 @@ impl<T> PacketRing<T> {
     }
 }
 
+/// Slots are limited so a slot id plus a 6-bit generation tag pack into the
+/// 16-bit ack words piggybacked on frames (see [`crate::flow::ack_word`]).
+pub const REJECT_SLOT_LIMIT: usize = 1 << 10;
+
 /// State of one reject-queue slot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum SlotState<T> {
     Free,
     /// Packet sent, neither acked nor returned yet. The slot reservation
     /// *is* the deadlock-avoidance buffer: if the packet bounces, this slot
-    /// is guaranteed to have room for it.
-    InFlight,
-    /// Packet bounced back; payload parked here awaiting retransmission.
-    Returned(T),
+    /// is guaranteed to have room for it. Unlike the paper's scheme (which
+    /// only ever sees receiver-full loss and so can rely on the bounce to
+    /// carry the payload back), the slot retains a copy of the packet with
+    /// a retransmission deadline, so a frame lost *in the network* — or
+    /// whose ack was lost — is recovered by timeout.
+    InFlight {
+        packet: Option<T>,
+        /// Low bits of the packet's sequence number; acks and bounces must
+        /// present a matching tag, so a delayed duplicate ack from a
+        /// previous occupancy of this slot cannot release the wrong packet.
+        tag: u8,
+        /// Tick at which the retransmission timer fires.
+        deadline: u64,
+        /// Current retransmission timeout (doubles per timeout, capped).
+        rto: u64,
+        /// Timeout retransmissions so far (bounce retransmits don't count:
+        /// a bouncing receiver is demonstrably alive).
+        retries: u32,
+    },
+    /// Packet bounced back; parked here awaiting paced retransmission.
+    Returned { packet: T, tag: u8, rto: u64, retries: u32 },
 }
 
 /// The host reject queue: a slot table whose capacity bounds the node's
@@ -207,16 +228,23 @@ pub struct RejectQueue<T> {
     /// Returned slots in bounce order, awaiting retransmission.
     returned_fifo: VecDeque<u16>,
     in_flight: usize,
+    /// Earliest retransmission deadline across in-flight slots; a cheap
+    /// (possibly stale-low) bound so the no-timeouts fast path is O(1).
+    next_deadline: u64,
 }
 
 impl<T> RejectQueue<T> {
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0 && capacity <= u16::MAX as usize);
+        assert!(
+            capacity > 0 && capacity <= REJECT_SLOT_LIMIT,
+            "reject queue capacity must be 1..={REJECT_SLOT_LIMIT}"
+        );
         RejectQueue {
             slots: (0..capacity).map(|_| SlotState::Free).collect(),
             free: (0..capacity as u16).rev().collect(),
             returned_fifo: VecDeque::new(),
             in_flight: 0,
+            next_deadline: u64::MAX,
         }
     }
 
@@ -242,22 +270,55 @@ impl<T> RejectQueue<T> {
         !self.free.is_empty()
     }
 
-    /// Reserve a slot for a new outgoing packet. `None` when the window is
-    /// exhausted (the caller must extract/ack before sending more).
-    pub fn reserve(&mut self) -> Option<u16> {
+    /// True when some in-flight slot's retransmission deadline may have
+    /// passed. A false positive triggers a harmless scan; never a false
+    /// negative.
+    pub fn timer_due(&self, now: u64) -> bool {
+        self.next_deadline <= now
+    }
+
+    /// Reserve a slot for a new outgoing packet, arming its retransmission
+    /// timer. `None` when the window is exhausted (the caller must
+    /// extract/ack before sending more). The caller attaches the packet
+    /// copy and generation tag with [`RejectQueue::store`] once the packet is
+    /// built around the slot id.
+    pub fn reserve(&mut self, now: u64, rto: u64) -> Option<u16> {
         let slot = self.free.pop()?;
         debug_assert!(matches!(self.slots[slot as usize], SlotState::Free));
-        self.slots[slot as usize] = SlotState::InFlight;
+        let deadline = now.saturating_add(rto);
+        self.slots[slot as usize] = SlotState::InFlight {
+            packet: None,
+            tag: 0,
+            deadline,
+            rto,
+            retries: 0,
+        };
         self.in_flight += 1;
+        self.next_deadline = self.next_deadline.min(deadline);
         Some(slot)
     }
 
-    /// An acknowledgement arrived for `slot`: release it. Returns false for
-    /// a slot that was not in flight (a protocol error by the peer —
-    /// tolerated, counted by the caller).
-    pub fn ack(&mut self, slot: u16) -> bool {
+    /// Attach the retransmission copy and generation tag to a slot returned
+    /// by [`RejectQueue::reserve`].
+    pub fn store(&mut self, slot: u16, gen_tag: u8, pkt: T) {
+        if let Some(SlotState::InFlight { packet, tag, .. }) = self.slots.get_mut(slot as usize) {
+            *packet = Some(pkt);
+            *tag = gen_tag;
+        } else {
+            debug_assert!(false, "store on a slot that is not in flight");
+        }
+    }
+
+    /// An acknowledgement arrived for `slot` with generation tag `tag`:
+    /// release it. Returns false for a slot that was not in flight or whose
+    /// tag does not match (a stale or corrupted ack — tolerated, counted by
+    /// the caller).
+    pub fn ack(&mut self, slot: u16, tag: u8) -> bool {
         match self.slots.get_mut(slot as usize) {
-            Some(s @ SlotState::InFlight) => {
+            Some(s @ SlotState::InFlight { .. }) => {
+                if !matches!(s, SlotState::InFlight { tag: t, .. } if *t == tag) {
+                    return false;
+                }
                 *s = SlotState::Free;
                 self.free.push(slot);
                 self.in_flight -= 1;
@@ -267,12 +328,26 @@ impl<T> RejectQueue<T> {
         }
     }
 
-    /// The packet in `slot` bounced back: park its payload for
-    /// retransmission. Returns false if the slot was not in flight.
-    pub fn bounce(&mut self, slot: u16, payload: T) -> bool {
+    /// The packet in `slot` bounced back: park it for retransmission.
+    /// Returns false if the slot was not in flight or the tag disagrees
+    /// (a bounce of a stale duplicate must not displace the packet that
+    /// currently owns the slot).
+    pub fn bounce(&mut self, slot: u16, tag: u8, pkt: T) -> bool {
         match self.slots.get_mut(slot as usize) {
-            Some(s @ SlotState::InFlight) => {
-                *s = SlotState::Returned(payload);
+            Some(s @ SlotState::InFlight { .. }) => {
+                let SlotState::InFlight { tag: t, rto, retries, .. } = s else {
+                    unreachable!()
+                };
+                if *t != tag {
+                    return false;
+                }
+                let (rto, retries) = (*rto, *retries);
+                *s = SlotState::Returned {
+                    packet: pkt,
+                    tag,
+                    rto,
+                    retries,
+                };
                 self.returned_fifo.push_back(slot);
                 self.in_flight -= 1;
                 true
@@ -282,21 +357,128 @@ impl<T> RejectQueue<T> {
     }
 
     /// Take the oldest returned packet for retransmission; its slot stays
-    /// reserved (the retransmitted packet is still outstanding).
-    pub fn pop_retransmit(&mut self) -> Option<(u16, T)> {
-        let slot = self.returned_fifo.pop_front()?;
-        let state = std::mem::replace(&mut self.slots[slot as usize], SlotState::InFlight);
-        match state {
-            SlotState::Returned(t) => {
-                self.in_flight += 1;
-                Some((slot, t))
+    /// reserved (the retransmitted packet is still outstanding) and its
+    /// retransmission timer is re-armed from `now`.
+    pub fn pop_retransmit(&mut self, now: u64) -> Option<(u16, T)>
+    where
+        T: Clone,
+    {
+        loop {
+            let slot = self.returned_fifo.pop_front()?;
+            match std::mem::replace(&mut self.slots[slot as usize], SlotState::Free) {
+                SlotState::Returned {
+                    packet,
+                    tag,
+                    rto,
+                    retries,
+                } => {
+                    let deadline = now.saturating_add(rto);
+                    self.slots[slot as usize] = SlotState::InFlight {
+                        packet: Some(packet.clone()),
+                        tag,
+                        deadline,
+                        rto,
+                        retries,
+                    };
+                    self.in_flight += 1;
+                    self.next_deadline = self.next_deadline.min(deadline);
+                    return Some((slot, packet));
+                }
+                other => {
+                    // The slot was released (e.g. its peer died and the
+                    // queue was purged) after the FIFO entry was recorded;
+                    // put the state back and skip the stale entry.
+                    self.slots[slot as usize] = other;
+                }
             }
-            other => {
-                // Restore and fail loudly in debug: the FIFO and table
-                // disagree, which indicates a bug in this module.
-                self.slots[slot as usize] = other;
-                debug_assert!(false, "returned_fifo referenced a non-returned slot");
-                None
+        }
+    }
+
+    /// Walk in-flight slots whose retransmission deadline has passed.
+    /// For each expired slot: if its retry count reached `max_retries` the
+    /// slot is freed and `fail(slot, packet)` is invoked (the caller
+    /// declares the peer dead); otherwise the retry count increments, the
+    /// rto doubles (capped at `max_rto`, plus `jitter(rto)` to decorrelate
+    /// retransmit storms) and `retransmit(slot, &packet)` is invoked.
+    pub fn scan_expired(
+        &mut self,
+        now: u64,
+        max_retries: u32,
+        max_rto: u64,
+        mut jitter: impl FnMut(u64) -> u64,
+        mut retransmit: impl FnMut(u16, &T),
+        mut fail: impl FnMut(u16, T),
+    ) {
+        if !self.timer_due(now) {
+            return;
+        }
+        let mut next = u64::MAX;
+        for idx in 0..self.slots.len() {
+            let SlotState::InFlight {
+                packet,
+                deadline,
+                rto,
+                retries,
+                ..
+            } = &mut self.slots[idx]
+            else {
+                continue;
+            };
+            if *deadline > now {
+                next = next.min(*deadline);
+                continue;
+            }
+            let Some(pkt) = packet else {
+                // reserve() without store(): a caller that tracks packets
+                // elsewhere (or a unit test); nothing to retransmit.
+                *deadline = now.saturating_add(*rto);
+                next = next.min(*deadline);
+                continue;
+            };
+            if *retries >= max_retries {
+                let pkt = packet.take().expect("checked above");
+                self.slots[idx] = SlotState::Free;
+                self.free.push(idx as u16);
+                self.in_flight -= 1;
+                fail(idx as u16, pkt);
+                continue;
+            }
+            *retries += 1;
+            *rto = (*rto * 2).min(max_rto);
+            *deadline = now.saturating_add(*rto + jitter(*rto));
+            next = next.min(*deadline);
+            retransmit(idx as u16, pkt);
+        }
+        self.next_deadline = next;
+    }
+
+    /// Release every slot whose packet matches `pred` (used to purge all
+    /// traffic toward a dead peer), invoking `dropped` for each. Stale
+    /// `returned_fifo` entries are skipped lazily by
+    /// [`RejectQueue::pop_retransmit`].
+    pub fn release_where(&mut self, mut pred: impl FnMut(&T) -> bool, mut dropped: impl FnMut(T)) {
+        for idx in 0..self.slots.len() {
+            let matches = match &self.slots[idx] {
+                SlotState::InFlight { packet: Some(p), .. } => pred(p),
+                SlotState::Returned { packet, .. } => pred(packet),
+                _ => false,
+            };
+            if !matches {
+                continue;
+            }
+            let was_in_flight = matches!(self.slots[idx], SlotState::InFlight { .. });
+            match std::mem::replace(&mut self.slots[idx], SlotState::Free) {
+                SlotState::InFlight { packet, .. } => {
+                    if let Some(p) = packet {
+                        dropped(p);
+                    }
+                }
+                SlotState::Returned { packet, .. } => dropped(packet),
+                SlotState::Free => unreachable!(),
+            }
+            self.free.push(idx as u16);
+            if was_in_flight {
+                self.in_flight -= 1;
             }
         }
     }
@@ -376,49 +558,121 @@ mod tests {
         assert_eq!(next_in, next_out);
     }
 
+    /// Reserve + store in one step with tag 0 and a far-future deadline —
+    /// the shape most tests want.
+    fn reserve_stored<T>(q: &mut RejectQueue<T>, pkt: T) -> Option<u16> {
+        let slot = q.reserve(0, 1 << 40)?;
+        q.store(slot, 0, pkt);
+        Some(slot)
+    }
+
     #[test]
     fn reject_queue_reserve_ack_cycle() {
         let mut q: RejectQueue<&str> = RejectQueue::new(2);
-        let a = q.reserve().unwrap();
-        let b = q.reserve().unwrap();
+        let a = reserve_stored(&mut q, "a").unwrap();
+        let b = reserve_stored(&mut q, "b").unwrap();
         assert_ne!(a, b);
-        assert!(q.reserve().is_none(), "window exhausted");
+        assert!(q.reserve(0, 1).is_none(), "window exhausted");
         assert_eq!(q.outstanding(), 2);
-        assert!(q.ack(a));
-        assert!(!q.ack(a), "double ack refused");
+        assert!(q.ack(a, 0));
+        assert!(!q.ack(a, 0), "double ack refused");
         assert_eq!(q.outstanding(), 1);
-        assert!(q.reserve().is_some());
+        assert!(q.reserve(0, 1).is_some());
     }
 
     #[test]
     fn reject_queue_bounce_and_retransmit() {
         let mut q: RejectQueue<&str> = RejectQueue::new(3);
-        let a = q.reserve().unwrap();
-        let b = q.reserve().unwrap();
-        assert!(q.bounce(a, "pkt-a"));
-        assert!(q.bounce(b, "pkt-b"));
+        let a = reserve_stored(&mut q, "pkt-a").unwrap();
+        let b = reserve_stored(&mut q, "pkt-b").unwrap();
+        assert!(q.bounce(a, 0, "pkt-a"));
+        assert!(q.bounce(b, 0, "pkt-b"));
         assert_eq!(q.in_flight(), 0);
         assert_eq!(q.returned(), 2);
         // Retransmission order is bounce order.
-        let (s1, p1) = q.pop_retransmit().unwrap();
+        let (s1, p1) = q.pop_retransmit(0).unwrap();
         assert_eq!((s1, p1), (a, "pkt-a"));
         assert_eq!(q.in_flight(), 1);
         // Slot stays outstanding until acked.
         assert_eq!(q.outstanding(), 2);
-        assert!(q.ack(a));
-        let (s2, _) = q.pop_retransmit().unwrap();
+        assert!(q.ack(a, 0));
+        let (s2, _) = q.pop_retransmit(0).unwrap();
         assert_eq!(s2, b);
-        assert!(q.pop_retransmit().is_none());
+        assert!(q.pop_retransmit(0).is_none());
     }
 
     #[test]
-    fn reject_queue_rejects_bad_slots() {
+    fn reject_queue_rejects_bad_slots_and_tags() {
         let mut q: RejectQueue<()> = RejectQueue::new(2);
-        assert!(!q.ack(0), "slot never reserved");
-        assert!(!q.bounce(7, ()), "slot out of range");
-        let a = q.reserve().unwrap();
-        assert!(q.bounce(a, ()));
-        assert!(!q.bounce(a, ()), "double bounce refused");
-        assert!(!q.ack(a), "ack of a returned slot refused (not in flight)");
+        assert!(!q.ack(0, 0), "slot never reserved");
+        assert!(!q.bounce(7, 0, ()), "slot out of range");
+        let a = q.reserve(0, 1).unwrap();
+        q.store(a, 3, ());
+        assert!(!q.ack(a, 5), "tag mismatch refused");
+        assert!(!q.bounce(a, 5, ()), "bounce tag mismatch refused");
+        assert!(q.bounce(a, 3, ()));
+        assert!(!q.bounce(a, 3, ()), "double bounce refused");
+        assert!(!q.ack(a, 3), "ack of a returned slot refused (not in flight)");
+    }
+
+    #[test]
+    fn timer_expiry_retransmits_with_backoff_then_fails() {
+        let mut q: RejectQueue<&str> = RejectQueue::new(2);
+        let a = q.reserve(0, 10).unwrap();
+        q.store(a, 0, "pkt");
+        assert!(!q.timer_due(5));
+        assert!(q.timer_due(10));
+        let mut retx = Vec::new();
+        let mut failed = Vec::new();
+        // First expiry: retry 1, rto doubles 10 -> 20, deadline 10+20=30.
+        q.scan_expired(10, 2, 1000, |_| 0, |s, p| retx.push((s, *p)), |s, p| failed.push((s, p)));
+        assert_eq!(retx, vec![(a, "pkt")]);
+        assert!(!q.timer_due(29));
+        // Second expiry: retry 2 (== budget next time).
+        q.scan_expired(30, 2, 1000, |_| 0, |s, p| retx.push((s, *p)), |s, p| failed.push((s, p)));
+        assert_eq!(retx.len(), 2);
+        // Third expiry: budget exhausted -> fail, slot freed.
+        q.scan_expired(100, 2, 1000, |_| 0, |s, p| retx.push((s, *p)), |s, p| failed.push((s, p)));
+        assert_eq!(failed, vec![(a, "pkt")]);
+        assert_eq!(q.outstanding(), 0);
+        assert!(q.has_space());
+    }
+
+    #[test]
+    fn rto_caps_at_max() {
+        let mut q: RejectQueue<u8> = RejectQueue::new(1);
+        let a = q.reserve(0, 8).unwrap();
+        q.store(a, 0, 1);
+        let mut deadlines = Vec::new();
+        let mut now = 8;
+        for _ in 0..5 {
+            q.scan_expired(now, 100, 16, |_| 0, |_, _| {}, |_, _| {});
+            // Next deadline is now + capped rto.
+            let mut probe = now;
+            while !q.timer_due(probe) {
+                probe += 1;
+            }
+            deadlines.push(probe - now);
+            now = probe;
+        }
+        assert_eq!(deadlines, vec![16, 16, 16, 16, 16], "rto capped at 16");
+    }
+
+    #[test]
+    fn release_where_purges_matching_slots() {
+        let mut q: RejectQueue<u8> = RejectQueue::new(4);
+        let a = reserve_stored(&mut q, 1).unwrap();
+        let b = reserve_stored(&mut q, 2).unwrap();
+        let c = reserve_stored(&mut q, 1).unwrap();
+        q.bounce(c, 0, 1);
+        let mut dropped = Vec::new();
+        q.release_where(|p| *p == 1, |p| dropped.push(p));
+        dropped.sort_unstable();
+        assert_eq!(dropped, vec![1, 1], "both copies of peer-1 traffic freed");
+        assert_eq!(q.outstanding(), 1, "peer-2 slot untouched");
+        assert!(q.ack(b, 0));
+        // The stale fifo entry for c is skipped, not retransmitted.
+        assert!(q.pop_retransmit(0).is_none());
+        let _ = a;
     }
 }

@@ -151,6 +151,17 @@ impl Reassembly {
         self.partial.len()
     }
 
+    /// Drop every partial message from `src` (the peer was declared dead:
+    /// its missing fragments will never arrive). Returns how many partial
+    /// messages were abandoned; each counts as an error.
+    pub fn abort_source(&mut self, src: NodeId) -> usize {
+        let before = self.partial.len();
+        self.partial.retain(|(s, _), _| *s != src);
+        let dropped = before - self.partial.len();
+        self.errors += dropped as u64;
+        dropped
+    }
+
     /// Feed one fragment payload from `src`. Returns the completed message
     /// when this fragment was the last missing piece.
     pub fn on_fragment(
@@ -173,6 +184,13 @@ impl Reassembly {
             remaining: h.count as usize,
             handler: h.handler,
         });
+        // A fragment keyed into an existing partial must agree with its
+        // shape (a msg_id collision after wraparound, or a stray fragment
+        // from an aborted message, must not index out of bounds).
+        if p.seen.len() != h.count as usize || p.buf.len() != h.total_len as usize {
+            self.errors += 1;
+            return Err(FragError::Inconsistent);
+        }
         if p.seen[h.idx as usize] {
             self.errors += 1;
             return Err(FragError::Duplicate);
@@ -182,9 +200,15 @@ impl Reassembly {
         let off = h.idx as usize * FRAG_DATA;
         p.buf[off..off + data.len()].copy_from_slice(data);
         if p.remaining == 0 {
-            let p = self.partial.remove(&key).expect("entry just touched");
-            self.completed += 1;
-            Ok(Some((p.handler, p.buf)))
+            match self.partial.remove(&key) {
+                Some(p) => {
+                    self.completed += 1;
+                    Ok(Some((p.handler, p.buf)))
+                }
+                // Unreachable (the entry was just touched), but a missing
+                // entry is not worth crashing the node over.
+                None => Ok(None),
+            }
         } else {
             Ok(None)
         }

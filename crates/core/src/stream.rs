@@ -200,7 +200,9 @@ impl FmStream {
         msg.push(flags);
         msg.extend_from_slice(data);
         self.next_seq += 1;
-        ep.send_large(self.peer, self.mux.handler, &msg);
+        if let Err(e) = ep.send_large(self.peer, self.mux.handler, &msg) {
+            panic!("stream write to {}: {e}", self.peer.0);
+        }
         self.pool.put(msg);
     }
 

@@ -126,8 +126,9 @@ impl Communicator {
         }
         let bytes = env.encode();
         // Large-handler 0 is the MPI sink on every rank.
-        self.ep
-            .send_large(NodeId(dest), fm_core::HandlerId(0), &bytes);
+        if let Err(e) = self.ep.send_large(NodeId(dest), fm_core::HandlerId(0), &bytes) {
+            panic!("MPI send to rank {dest}: {e}");
+        }
     }
 
     /// Blocking receive with wildcard source/tag. Returns

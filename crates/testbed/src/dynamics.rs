@@ -39,6 +39,12 @@ pub struct DynamicsConfig {
     /// Endpoint sizing.
     pub window: usize,
     pub recv_ring: usize,
+    /// Receiver reorder-window lookahead. Defaults to 0, which disables
+    /// the beyond-paper Ahead-buffering so the experiment reproduces the
+    /// paper's pure return-to-sender dynamics: a full receiver bounces,
+    /// period. Raise it to study how the reliability layer's reorder
+    /// buffering tames the bounce storm.
+    pub reorder_window: u32,
 }
 
 impl Default for DynamicsConfig {
@@ -52,6 +58,7 @@ impl Default for DynamicsConfig {
             extract_budget: usize::MAX,
             window: 64,
             recv_ring: 32,
+            reorder_window: 0,
         }
     }
 }
@@ -88,6 +95,7 @@ pub fn run_overload(cfg: DynamicsConfig) -> DynamicsReport {
     let ep_cfg = EndpointConfig {
         window: cfg.window,
         recv_ring: cfg.recv_ring,
+        reorder_window: cfg.reorder_window,
         ..Default::default()
     };
     let mut sender = EndpointCore::new(NodeId(0), ep_cfg);

@@ -30,10 +30,12 @@ pub mod calib;
 pub mod credit;
 pub mod dynamics;
 pub mod experiments;
+pub mod faults;
 pub mod scaling;
 pub mod sim;
 
 pub use experiments::{bandwidth_sweep, latency_sweep, BandwidthPoint, LatencyPoint};
+pub use faults::{run_loss_point, run_loss_sweep, FaultPoint, FaultSweepConfig};
 pub use sim::{run_pingpong, run_stream, StreamReport};
 
 use fm_lanai::LcpCosts;

@@ -192,8 +192,8 @@ fn interleaved_large_messages() {
     let m0: Vec<u8> = (0..30_000).map(|i| (i % 199) as u8).collect();
     let m1: Vec<u8> = (0..25_000).map(|i| (i % 173) as u8).collect();
     let (m0c, m1c) = (m0.clone(), m1.clone());
-    let t0 = std::thread::spawn(move || s0.send_large(NodeId(2), lh, &m0c));
-    let t1 = std::thread::spawn(move || s1.send_large(NodeId(2), lh, &m1c));
+    let t0 = std::thread::spawn(move || s0.send_large(NodeId(2), lh, &m0c).expect("peer alive"));
+    let t1 = std::thread::spawn(move || s1.send_large(NodeId(2), lh, &m1c).expect("peer alive"));
     while got.lock().len() < 2 {
         sink.extract();
         std::thread::yield_now();

@@ -5,10 +5,11 @@
 //! `BufMut`). It is *not* a drop-in for all of `bytes` — but it adds one
 //! deliberate improvement for this codebase: [`Bytes`] stores payloads up
 //! to [`INLINE_CAP`] bytes **inline** (no heap). One FM frame is at most
-//! 24 + 128 = 152 bytes, so every frame-sized buffer — payloads, encoded
-//! frames, segmentation fragments — lives entirely on the stack / in ring
-//! slots, which is what lets the short-message path run with zero
-//! steady-state allocations (see `fm-core::fabric` and `BENCH_fabric.json`).
+//! 24 + 128 + 4 = 156 bytes (header + payload + CRC32 trailer), so every
+//! frame-sized buffer — payloads, encoded frames, segmentation fragments —
+//! lives entirely on the stack / in ring slots, which is what lets the
+//! short-message path run with zero steady-state allocations (see
+//! `fm-core::fabric` and `BENCH_fabric.json`).
 
 use std::borrow::Borrow;
 use std::fmt;
@@ -17,8 +18,8 @@ use std::ops::{Deref, RangeBounds};
 use std::sync::Arc;
 
 /// Largest `Bytes` stored without heap allocation: one FM wire frame
-/// (24-byte header + 128-byte payload).
-pub const INLINE_CAP: usize = 152;
+/// (24-byte header + 128-byte payload + 4-byte CRC32 trailer).
+pub const INLINE_CAP: usize = 156;
 
 #[derive(Clone)]
 enum Repr {
