@@ -23,18 +23,25 @@
 //! wire throughput is compared against it — the reliability layer must
 //! cost <10% on a clean network.
 //!
+//! A fifth section guards the **telemetry layer** (per-endpoint counters,
+//! histograms, event ring — the observability PR): when
+//! `--telemetry-on PATH` and `--telemetry-off PATH` point at
+//! `telemetry_probe` result files (one built normally, one with
+//! `--features telemetry-off`), the gate computes the instrumentation
+//! overhead on the clean ring ping-pong path and holds it to the same
+//! <10% budget.
+//!
 //! `--smoke` shrinks the workloads to CI size and skips enforcement (the
 //! JSON is still written, with `"enforced": false`); without it the
 //! process exits nonzero when a gate fails. `--out PATH` overrides the
 //! output path.
 
-use fm_bench::alloc_track::{allocations, AllocSnapshot, CountingAlloc};
-use fm_core::mem::{FabricKind, MemCluster};
+use fm_bench::alloc_track::CountingAlloc;
+use fm_bench::pingpong::pingpong;
+use fm_core::mem::FabricKind;
 use fm_core::FaultConfig;
 use fm_core::{spsc_ring, HandlerId, NodeId, WireFrame, FM_FRAME_MAX};
 use std::hint::black_box;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::Instant;
 
 #[global_allocator]
@@ -48,6 +55,11 @@ const MIN_WIRE_SPEEDUP: f64 = 3.0;
 /// `--baseline` file (the reliability layer must be near-free when the
 /// network is clean).
 const MAX_WIRE_REGRESSION: f64 = 0.10;
+
+/// Maximum tolerated telemetry overhead on the clean ring ping-pong path
+/// (instrumented vs `telemetry-off` probe builds). Same budget as the
+/// reliability layer: observability must be near-free.
+const MAX_TELEMETRY_OVERHEAD: f64 = 0.10;
 
 fn encoded_template() -> ([u8; FM_FRAME_MAX], usize) {
     let frame = WireFrame::data(
@@ -121,91 +133,27 @@ fn wire_channel(frames: u64) -> f64 {
     frames as f64 / t0.elapsed().as_secs_f64()
 }
 
-struct PingPong {
-    msgs_per_sec: f64,
-    p50_ns: u64,
-    p99_ns: u64,
-    steady: AllocSnapshot,
-    frames: u64,
-}
-
-/// Serial echo rounds over the full protocol stack (window, acks, codec).
-/// Returns throughput, per-frame latency percentiles, and the allocation
-/// delta across the measured (post-warmup) section.
-fn pingpong(fabric: FabricKind, faults: Option<FaultConfig>, warmup: u64, rounds: u64) -> PingPong {
-    let mut nodes = match faults {
-        // Zero-rate injector: every frame still pays the injector's
-        // per-frame decision rolls — the clean-path worst case.
-        Some(f) => MemCluster::with_faulty_fabric(2, Default::default(), fabric, f),
-        None => MemCluster::with_fabric(2, Default::default(), fabric),
-    };
-    let mut b = nodes.pop().expect("node 1");
-    let mut a = nodes.pop().expect("node 0");
-    let hb = b.register_handler(|out, src, data| out.send_copy(src, HandlerId(1), data));
-    let echoes = Arc::new(AtomicU64::new(0));
-    let e2 = echoes.clone();
-    let ha = a.register_handler(move |_, _, _| {
-        e2.fetch_add(1, Ordering::Relaxed);
-    });
-    assert_eq!(ha, HandlerId(1), "echo handler id is fixed by construction");
-
-    let stop = Arc::new(AtomicBool::new(false));
-    let s2 = stop.clone();
-    let tb = std::thread::spawn(move || {
-        while !s2.load(Ordering::Relaxed) {
-            b.extract();
-            std::thread::yield_now();
-        }
-    });
-
-    let payload = [0x5Au8; 16];
-    let mut done: u64 = 0;
-    let round = |a: &mut fm_core::MemEndpoint, done: &mut u64| {
-        a.send(NodeId(1), hb, &payload);
-        *done += 1;
-        while echoes.load(Ordering::Relaxed) < *done {
-            a.extract();
-            std::thread::yield_now();
-        }
-    };
-    for _ in 0..warmup {
-        round(&mut a, &mut done);
-    }
-    let mut rtts: Vec<u64> = Vec::with_capacity(rounds as usize);
-    let before = allocations();
-    let t0 = Instant::now();
-    for _ in 0..rounds {
-        let t = Instant::now();
-        round(&mut a, &mut done);
-        rtts.push(t.elapsed().as_nanos() as u64);
-    }
-    let elapsed = t0.elapsed();
-    let steady = allocations().since(before);
-    stop.store(true, Ordering::Relaxed);
-    tb.join().expect("echo thread");
-    rtts.sort_unstable();
-    let pct = |p: f64| rtts[((rtts.len() - 1) as f64 * p).round() as usize] / 2;
-    PingPong {
-        // Each round moves two data frames (ping + echo).
-        msgs_per_sec: 2.0 * rounds as f64 / elapsed.as_secs_f64(),
-        p50_ns: pct(0.50),
-        p99_ns: pct(0.99),
-        steady,
-        frames: 2 * rounds,
-    }
-}
-
-/// Pull `wire.ring_msgs_per_sec` out of a previous `BENCH_fabric.json`
-/// without a JSON dependency: the first `"ring_msgs_per_sec"` key in the
-/// file is the wire section's (see the emit order below).
-fn baseline_wire_msgs(path: &str) -> Option<f64> {
+/// Pull the number after `key` out of a JSON file without a JSON
+/// dependency; the first occurrence wins, so the emit order below matters
+/// for `BENCH_fabric.json` (the wire section's `ring_msgs_per_sec` comes
+/// first).
+fn json_number(path: &str, key: &str) -> Option<f64> {
     let text = std::fs::read_to_string(path).ok()?;
-    let key = "\"ring_msgs_per_sec\":";
-    let rest = text[text.find(key)? + key.len()..].trim_start();
+    let key = format!("\"{key}\":");
+    let rest = text[text.find(&key)? + key.len()..].trim_start();
     let end = rest
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+fn baseline_wire_msgs(path: &str) -> Option<f64> {
+    json_number(path, "ring_msgs_per_sec")
+}
+
+/// Throughput from a `telemetry_probe` result file.
+fn probe_msgs(path: &str) -> Option<f64> {
+    json_number(path, "msgs_per_sec")
 }
 
 fn main() {
@@ -213,6 +161,8 @@ fn main() {
     let mut smoke = false;
     let mut out_path = "BENCH_fabric.json".to_string();
     let mut baseline_path: Option<String> = None;
+    let mut tel_on_path: Option<String> = None;
+    let mut tel_off_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -231,9 +181,26 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--telemetry-on" => match it.next() {
+                Some(p) => tel_on_path = Some(p.clone()),
+                None => {
+                    eprintln!("error: --telemetry-on requires a path");
+                    std::process::exit(2);
+                }
+            },
+            "--telemetry-off" => match it.next() {
+                Some(p) => tel_off_path = Some(p.clone()),
+                None => {
+                    eprintln!("error: --telemetry-off requires a path");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("error: unknown argument `{other}`");
-                eprintln!("usage: bench_gate [--smoke] [--out PATH] [--baseline PATH]");
+                eprintln!(
+                    "usage: bench_gate [--smoke] [--out PATH] [--baseline PATH] \
+                     [--telemetry-on PATH --telemetry-off PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -284,6 +251,23 @@ fn main() {
     let injector_overhead = (ring_pp.msgs_per_sec - clean_faulty_pp.msgs_per_sec)
         / ring_pp.msgs_per_sec;
 
+    // Telemetry overhead: instrumented vs telemetry-off probe runs of the
+    // same ring ping-pong. Positive = instrumentation costs throughput.
+    let tel_on = tel_on_path.as_deref().and_then(probe_msgs);
+    let tel_off = tel_off_path.as_deref().and_then(probe_msgs);
+    for (path, parsed) in [(&tel_on_path, tel_on), (&tel_off_path, tel_off)] {
+        if let Some(p) = path {
+            if parsed.is_none() {
+                eprintln!("bench_gate: warning: no msgs_per_sec readable from {p}");
+            }
+        }
+    }
+    let telemetry_overhead = match (tel_on, tel_off) {
+        (Some(on), Some(off)) => Some((off - on) / off),
+        _ => None,
+    };
+    let telemetry_ok = telemetry_overhead.is_none_or(|o| o < MAX_TELEMETRY_OVERHEAD);
+
     let json = format!(
         concat!(
             "{{\n",
@@ -314,12 +298,20 @@ fn main() {
             "    \"clean_injector\": {{ \"msgs_per_sec\": {cfpp:.0}, \"p50_frame_ns\": {cfp50}, \"p99_frame_ns\": {cfp99} }},\n",
             "    \"injector_overhead_pct\": {inj_pct:.1}\n",
             "  }},\n",
+            "  \"telemetry\": {{\n",
+            "    \"on_msgs_per_sec\": {tel_on},\n",
+            "    \"off_msgs_per_sec\": {tel_off},\n",
+            "    \"overhead_pct\": {tel_pct},\n",
+            "    \"max_overhead_pct\": {tel_max:.1},\n",
+            "    \"overhead_ok\": {telemetry_ok}\n",
+            "  }},\n",
             "  \"gate\": {{\n",
             "    \"min_wire_speedup\": {min_speedup:.1},\n",
             "    \"wire_speedup_ok\": {speedup_ok},\n",
             "    \"zero_alloc_ok\": {zero_alloc_ok},\n",
             "    \"max_wire_regression_pct\": {max_regr_pct:.1},\n",
             "    \"wire_regression_ok\": {regression_ok},\n",
+            "    \"telemetry_overhead_ok\": {telemetry_ok},\n",
             "    \"enforced\": {enforced}\n",
             "  }}\n",
             "}}\n",
@@ -357,6 +349,20 @@ fn main() {
         cfp50 = clean_faulty_pp.p50_ns,
         cfp99 = clean_faulty_pp.p99_ns,
         inj_pct = injector_overhead * 100.0,
+        tel_on = match tel_on {
+            Some(v) => format!("{v:.0}"),
+            None => "null".to_string(),
+        },
+        tel_off = match tel_off {
+            Some(v) => format!("{v:.0}"),
+            None => "null".to_string(),
+        },
+        tel_pct = match telemetry_overhead {
+            Some(o) => format!("{:.1}", o * 100.0),
+            None => "null".to_string(),
+        },
+        tel_max = MAX_TELEMETRY_OVERHEAD * 100.0,
+        telemetry_ok = telemetry_ok,
         min_speedup = MIN_WIRE_SPEEDUP,
         speedup_ok = speedup_ok,
         zero_alloc_ok = zero_alloc_ok,
@@ -391,6 +397,14 @@ fn main() {
             -injector_overhead * 100.0,
         ),
     }
+    match (tel_on, tel_off, telemetry_overhead) {
+        (Some(on), Some(off), Some(o)) => println!(
+            "telemetry: instrumented {on:.3e} vs telemetry-off {off:.3e} msg/s ({:+.1}% {})",
+            -o * 100.0,
+            if o >= 0.0 { "slower" } else { "faster" },
+        ),
+        _ => println!("telemetry: no probe results — overhead not measured"),
+    }
     println!("wrote {out_path}");
 
     if !smoke {
@@ -416,13 +430,24 @@ fn main() {
                 failed = true;
             }
         }
+        if let Some(o) = telemetry_overhead {
+            if !telemetry_ok {
+                eprintln!(
+                    "GATE FAIL: telemetry overhead {:.1}% on the clean ring path (max {:.0}%)",
+                    o * 100.0,
+                    MAX_TELEMETRY_OVERHEAD * 100.0
+                );
+                failed = true;
+            }
+        }
         if failed {
             std::process::exit(1);
         }
         println!(
             "gate: PASS (speedup >= {MIN_WIRE_SPEEDUP:.1}x, zero steady-state allocations, \
-             clean-path regression < {:.0}%)",
-            MAX_WIRE_REGRESSION * 100.0
+             clean-path regression < {:.0}%, telemetry overhead < {:.0}%)",
+            MAX_WIRE_REGRESSION * 100.0,
+            MAX_TELEMETRY_OVERHEAD * 100.0
         );
     } else {
         println!("gate: smoke mode — thresholds reported, not enforced");

@@ -27,6 +27,7 @@ use fm_metrics::{csv, derive_metrics, AsciiPlot, LayerMetrics, Table};
 use fm_testbed::{bandwidth_sweep, latency_sweep, Layer, TestbedConfig};
 
 pub mod alloc_track;
+pub mod pingpong;
 
 /// Where the figure/table outputs go, relative to the working directory.
 pub const RESULTS_DIR: &str = "results";

@@ -25,6 +25,7 @@ use crate::flow::{AckTracker, RetransmitConfig, SenderFlow, SeqClass, SeqWindow}
 use crate::frame::{FrameKind, WireFrame, FM_FRAME_PAYLOAD};
 use crate::handler::{Handler, HandlerId, HandlerRegistry, Outbox};
 use crate::queues::PacketRing;
+use fm_telemetry::{Counter, EventKind, Metric, Telemetry};
 
 /// Non-blocking send failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -183,6 +184,13 @@ pub struct EndpointCore {
     retx_scratch: Vec<WireFrame>,
     fail_scratch: Vec<WireFrame>,
     stats: EndpointStats,
+    /// Unified runtime telemetry: lock-free counters, latency histograms
+    /// and the protocol trace ring. Compiles down to nothing under the
+    /// `telemetry-off` feature.
+    telemetry: Telemetry,
+    /// Round-robin pick of which deliveries get their handler timed
+    /// (1 in 8; see `deliver`).
+    handler_probe: u32,
 }
 
 impl std::fmt::Debug for EndpointCore {
@@ -228,6 +236,8 @@ impl EndpointCore {
             retx_scratch: Vec::new(),
             fail_scratch: Vec::new(),
             stats: EndpointStats::default(),
+            telemetry: Telemetry::new(id.0),
+            handler_probe: 0,
             config,
         }
     }
@@ -238,6 +248,13 @@ impl EndpointCore {
 
     pub fn stats(&self) -> EndpointStats {
         self.stats
+    }
+
+    /// This endpoint's telemetry handle (counters, histograms, trace ring).
+    /// Cheap to clone; safe to read from other threads while the endpoint
+    /// runs.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     pub fn config(&self) -> EndpointConfig {
@@ -296,6 +313,7 @@ impl EndpointCore {
     /// what recovers it.
     pub fn note_corrupt(&mut self) {
         self.stats.corrupt += 1;
+        self.telemetry.incr(Counter::CorruptFrames);
     }
 
     // ---- handler registration -------------------------------------------
@@ -359,9 +377,21 @@ impl EndpointCore {
         // retransmitted, replaying stale ack words would be wrong. Fresh
         // acks are attached at each (re)transmission instead.
         self.sender.store(slot, frame.clone());
+        let gen = frame.slot_gen;
         frame.piggy = self.acks.take_piggy(dst);
         self.outgoing.push_back(frame);
         self.stats.sent += 1;
+        self.telemetry.incr(Counter::Sends);
+        self.telemetry
+            .trace(self.now, EventKind::Send { dst: dst.0, slot, seq });
+        if gen & 0x3F == 0 && gen != 0 {
+            // The slot's 6-bit generation *tag* wrapped — the one reuse
+            // moment an ABA-style diagnosis wants on the trace. (Tracing
+            // every reuse would emit one event per steady-state frame and
+            // measurably tax the send path.)
+            self.telemetry
+                .trace(self.now, EventKind::SlotReuse { slot, gen });
+        }
         Ok(())
     }
 
@@ -426,7 +456,9 @@ impl EndpointCore {
         debug_assert_eq!(frame.dst, self.id, "transport misrouted a frame");
         // Piggybacked acks count regardless of what happens to the frame.
         for &word in frame.piggy.as_slice() {
-            self.sender.on_ack(word);
+            if let Some(rtt) = self.sender.on_ack(word, self.now) {
+                self.telemetry.record(Metric::AckRttTicks, rtt);
+            }
             self.stats.acks_received += 1;
         }
         match frame.kind {
@@ -438,8 +470,12 @@ impl EndpointCore {
                 // reject queue stores — and everything the timers may later
                 // clone and resend — is a self→peer data frame.
                 let data = frame.into_retransmit();
+                let peer = data.dst.0;
                 if self.sender.on_bounce(slot, gen, data) {
                     self.stats.bounced += 1;
+                    self.telemetry.incr(Counter::Bounces);
+                    self.telemetry
+                        .trace(self.now, EventKind::Bounce { peer, slot });
                 }
             }
             FrameKind::Ack => { /* piggy area already processed above */ }
@@ -465,11 +501,12 @@ impl EndpointCore {
         match self.window_mut(src).classify(seq) {
             SeqClass::Duplicate => {
                 self.stats.duplicates += 1;
-                self.acks.on_accept(src, slot, gen);
+                self.telemetry.incr(Counter::ReAcks);
+                self.accept_ack(src, slot, gen);
             }
             SeqClass::InOrder => match self.recv_ring.push(frame) {
                 Ok(()) => {
-                    self.acks.on_accept(src, slot, gen);
+                    self.accept_ack(src, slot, gen);
                     // Split borrow: classify() above guarantees the window
                     // exists at src.index().
                     let Self {
@@ -490,15 +527,40 @@ impl EndpointCore {
                     self.outgoing.push_back(frame.into_return());
                 }
             },
-            SeqClass::Ahead => {
-                self.acks.on_accept(src, slot, gen);
-                self.window_mut(src).buffer(seq, frame);
-            }
+            SeqClass::Ahead => match self.window_mut(src).buffer(seq, frame) {
+                // Park first, ack second: an acked frame is a frame the
+                // sender will never resend, so the ack must only go out
+                // once the frame is actually retained.
+                Ok(()) => {
+                    self.accept_ack(src, slot, gen);
+                }
+                Err((_, frame)) => {
+                    // classify() filters duplicates and out-of-window seqs,
+                    // so a refusal here is unreachable — but if it ever
+                    // fires, bouncing (unacked) is the safe recovery: the
+                    // sender retransmits instead of losing the frame.
+                    self.telemetry.incr(Counter::SeqBufferMisuse);
+                    self.stats.rejected += 1;
+                    self.outgoing.push_back(frame.into_return());
+                }
+            },
             SeqClass::TooFar => {
                 self.stats.rejected += 1;
                 self.outgoing.push_back(frame.into_return());
             }
         }
+    }
+
+    /// Queue a (re-)ack for an accepted frame, counting refusals — a slot
+    /// too wide for the 10-bit ack word would alias another slot on the
+    /// sender, so it is dropped unacked and recovered by the sender's
+    /// retransmission timer.
+    fn accept_ack(&mut self, src: NodeId, slot: u16, gen: u8) -> bool {
+        let ok = self.acks.on_accept(src, slot, gen);
+        if !ok {
+            self.telemetry.incr(Counter::InvalidAckSlots);
+        }
+        ok
     }
 
     fn window_mut(&mut self, src: NodeId) -> &mut SeqWindow<WireFrame> {
@@ -575,9 +637,21 @@ impl EndpointCore {
     fn deliver(&mut self, frame: WireFrame) -> bool {
         match self.registry.take(frame.handler) {
             Some(mut h) => {
+                // Time the handler only when telemetry is compiled in, and
+                // then only 1 delivery in 8: two clock reads per delivery
+                // are the single largest instrumentation cost on the clean
+                // path, and a 1-in-8 sample still feeds the service-time
+                // histogram thousands of points per second under load.
+                self.handler_probe = self.handler_probe.wrapping_add(1);
+                let start = (fm_telemetry::ENABLED && self.handler_probe & 7 == 0)
+                    .then(std::time::Instant::now);
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     h(&mut self.outbox, frame.src, &frame.payload)
                 }));
+                if let Some(t0) = start {
+                    self.telemetry
+                        .record(Metric::HandlerNs, t0.elapsed().as_nanos() as u64);
+                }
                 if outcome.is_err() {
                     // The handler panicked. Its internal state is suspect,
                     // so it is dropped rather than put back (later frames
@@ -639,6 +713,16 @@ impl EndpointCore {
             frame.piggy = self.acks.take_piggy(frame.dst);
             self.stats.retransmitted += 1;
             self.stats.timer_retransmits += 1;
+            self.telemetry.incr(Counter::Retransmits);
+            self.telemetry.incr(Counter::TimerRetransmits);
+            self.telemetry.trace(
+                self.now,
+                EventKind::Retransmit {
+                    peer: frame.dst.0,
+                    slot: frame.slot,
+                    timer: true,
+                },
+            );
             self.outgoing.push_back(frame);
         }
         self.retx_scratch = retx;
@@ -664,6 +748,9 @@ impl EndpointCore {
         }
         self.dead[idx] = true;
         self.newly_dead.push(peer);
+        self.telemetry.incr(Counter::DeadPeers);
+        self.telemetry
+            .trace(self.now, EventKind::PeerDead { peer: peer.0 });
         let mut drops = 0u64;
         self.sender.release_where(|f| f.dst == peer, |_f| drops += 1);
         let before = self.outgoing.len();
@@ -688,6 +775,15 @@ impl EndpointCore {
             };
             frame.piggy = self.acks.take_piggy(frame.dst);
             self.stats.retransmitted += 1;
+            self.telemetry.incr(Counter::Retransmits);
+            self.telemetry.trace(
+                self.now,
+                EventKind::Retransmit {
+                    peer: frame.dst.0,
+                    slot: frame.slot,
+                    timer: false,
+                },
+            );
             self.outgoing.push_back(frame);
         }
     }

@@ -53,10 +53,19 @@ pub fn gen_tag(gen: u8) -> u8 {
 
 /// Pack a reject-queue slot and the slot's generation tag into the 16-bit
 /// ack word carried in frame piggyback areas.
+///
+/// Returns `None` when `slot` does not fit the 10-bit field. This used to
+/// be a `debug_assert!`, which meant a release build would silently pack
+/// an out-of-range slot whose low bits alias a *different* slot's ack word
+/// — a malformed or hostile frame could then falsely free an in-flight
+/// frame on the sender. Callers count refusals (see
+/// [`AckTracker::invalid_slots`]) instead of corrupting the window.
 #[inline]
-pub fn ack_word(slot: u16, gen: u8) -> u16 {
-    debug_assert!((slot as usize) < REJECT_SLOT_LIMIT);
-    slot | ((gen_tag(gen) as u16) << ACK_SLOT_BITS)
+pub fn ack_word(slot: u16, gen: u8) -> Option<u16> {
+    if (slot as usize) >= REJECT_SLOT_LIMIT {
+        return None;
+    }
+    Some(slot | ((gen_tag(gen) as u16) << ACK_SLOT_BITS))
 }
 
 /// Split an ack word back into (slot, generation tag).
@@ -102,15 +111,17 @@ pub struct SenderFlow<T> {
     /// Per-slot reuse generation, bumped on every reservation; its low
     /// bits tag outgoing frames and returning acks.
     gens: Vec<u8>,
+    /// Per-slot reservation tick, read back on ack for the send→ack RTT.
+    sent_at: Vec<u64>,
     /// Deterministic xorshift state for retransmission jitter.
     jitter_state: u64,
-    /// Statistics.
-    pub sent: u64,
-    pub retransmitted: u64,
-    pub timer_retransmits: u64,
-    pub acked: u64,
-    pub bounced: u64,
-    pub stray_acks: u64,
+    /// Statistics (read via the accessor methods below).
+    sent: u64,
+    retransmitted: u64,
+    timer_retransmits: u64,
+    acked: u64,
+    bounced: u64,
+    stray_acks: u64,
 }
 
 impl<T> SenderFlow<T> {
@@ -121,6 +132,7 @@ impl<T> SenderFlow<T> {
             reject: RejectQueue::new(window),
             retransmit,
             gens: vec![0; window],
+            sent_at: vec![0; window],
             jitter_state: jitter_seed | 1,
             sent: 0,
             retransmitted: 0,
@@ -149,6 +161,7 @@ impl<T> SenderFlow<T> {
     pub fn begin_send(&mut self, now: u64) -> Option<u16> {
         let slot = self.reject.reserve(now, self.retransmit.rto_initial)?;
         self.gens[slot as usize] = self.gens[slot as usize].wrapping_add(1);
+        self.sent_at[slot as usize] = now;
         self.sent += 1;
         Some(slot)
     }
@@ -164,13 +177,18 @@ impl<T> SenderFlow<T> {
         self.reject.store(slot, gen_tag(self.gens[slot as usize]), packet);
     }
 
-    /// Process one piggybacked ack word.
-    pub fn on_ack(&mut self, word: u16) {
+    /// Process one piggybacked ack word. On a valid ack, returns the
+    /// send→ack round trip in ticks (`now` minus the slot's reservation
+    /// tick); strays and mistagged acks return `None`.
+    pub fn on_ack(&mut self, word: u16, now: u64) -> Option<u64> {
         let (slot, tag) = ack_word_parts(word);
         if self.reject.ack(slot, tag) {
             self.acked += 1;
+            let sent_at = self.sent_at.get(slot as usize).copied().unwrap_or(now);
+            Some(now.saturating_sub(sent_at))
         } else {
             self.stray_acks += 1;
+            None
         }
     }
 
@@ -259,6 +277,54 @@ impl<T> SenderFlow<T> {
     pub fn release_where(&mut self, pred: impl FnMut(&T) -> bool, dropped: impl FnMut(T)) {
         self.reject.release_where(pred, dropped);
     }
+
+    // ---- read-only statistics -------------------------------------------
+
+    /// Fresh packets sent (window reservations).
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Packets retransmitted, bounce- and timer-driven together.
+    pub fn retransmitted(&self) -> u64 {
+        self.retransmitted
+    }
+
+    /// The timer-driven subset of [`SenderFlow::retransmitted`].
+    pub fn timer_retransmits(&self) -> u64 {
+        self.timer_retransmits
+    }
+
+    /// Valid acks that freed a slot.
+    pub fn acked(&self) -> u64 {
+        self.acked
+    }
+
+    /// Bounces parked for retransmission.
+    pub fn bounced(&self) -> u64 {
+        self.bounced
+    }
+
+    /// Acks (and bounces) that named a free slot or a stale generation.
+    pub fn stray_acks(&self) -> u64 {
+        self.stray_acks
+    }
+}
+
+/// Why [`SeqWindow::buffer`] refused a frame.
+///
+/// Both variants used to be `debug_assert!`s, so a release build would
+/// silently park frames outside the window (pinning memory past the
+/// lookahead bound) or overwrite an already-buffered frame (dropping data
+/// that had been acknowledged). The checks are now always on; misuse is
+/// counted ([`SeqWindow::buffer_misuse`]) and the frame handed back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqBufferError {
+    /// The sequence number is not strictly ahead of `next_expected()` by
+    /// at most the lookahead — it was never classified [`SeqClass::Ahead`].
+    OutOfWindow,
+    /// A frame with this sequence number is already parked.
+    Occupied,
 }
 
 /// Classification of an arriving sequence number against a [`SeqWindow`].
@@ -289,10 +355,11 @@ pub struct SeqWindow<T> {
     next: u32,
     lookahead: u32,
     buffered: HashMap<u32, T>,
-    /// Statistics.
-    pub duplicates: u64,
-    pub too_far: u64,
-    pub buffered_high_water: usize,
+    /// Statistics (read via the accessor methods below).
+    duplicates: u64,
+    too_far: u64,
+    buffered_high_water: usize,
+    buffer_misuse: u64,
 }
 
 impl<T> SeqWindow<T> {
@@ -312,6 +379,7 @@ impl<T> SeqWindow<T> {
             duplicates: 0,
             too_far: 0,
             buffered_high_water: 0,
+            buffer_misuse: 0,
         }
     }
 
@@ -353,14 +421,24 @@ impl<T> SeqWindow<T> {
     }
 
     /// Park an [`SeqClass::Ahead`] frame until the gap before it fills.
-    pub fn buffer(&mut self, seq: u32, item: T) {
-        debug_assert!({
-            let delta = seq.wrapping_sub(self.next);
-            delta >= 1 && delta <= self.lookahead
-        });
-        let prev = self.buffered.insert(seq, item);
-        debug_assert!(prev.is_none(), "classify() filters buffered duplicates");
+    ///
+    /// Refuses (returning the frame) when `seq` is outside the Ahead range
+    /// or already buffered — checked in release builds too, because either
+    /// misuse corrupts the window: out-of-window parks defeat the memory
+    /// bound, double-inserts silently drop the earlier frame.
+    pub fn buffer(&mut self, seq: u32, item: T) -> Result<(), (SeqBufferError, T)> {
+        let delta = seq.wrapping_sub(self.next);
+        if delta == 0 || delta > self.lookahead {
+            self.buffer_misuse += 1;
+            return Err((SeqBufferError::OutOfWindow, item));
+        }
+        if self.buffered.contains_key(&seq) {
+            self.buffer_misuse += 1;
+            return Err((SeqBufferError::Occupied, item));
+        }
+        self.buffered.insert(seq, item);
         self.buffered_high_water = self.buffered_high_water.max(self.buffered.len());
+        Ok(())
     }
 
     /// If the next expected frame is parked, release it (advancing the
@@ -378,6 +456,29 @@ impl<T> SeqWindow<T> {
         self.buffered.clear();
         n
     }
+
+    // ---- read-only statistics -------------------------------------------
+
+    /// Frames recognized as already delivered or already buffered.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Frames refused for landing beyond the lookahead window.
+    pub fn too_far(&self) -> u64 {
+        self.too_far
+    }
+
+    /// Peak number of frames parked at once.
+    pub fn buffered_high_water(&self) -> usize {
+        self.buffered_high_water
+    }
+
+    /// [`SeqWindow::buffer`] calls refused for misuse (out-of-window or
+    /// double-insert).
+    pub fn buffer_misuse(&self) -> u64 {
+        self.buffer_misuse
+    }
 }
 
 /// Receiver-side acknowledgement batching.
@@ -387,10 +488,11 @@ impl<T> SeqWindow<T> {
 #[derive(Debug, Clone, Default)]
 pub struct AckTracker {
     pending: BTreeMap<NodeId, Vec<u16>>,
-    /// Statistics.
-    pub accepted: u64,
-    pub piggybacked: u64,
-    pub standalone_frames: u64,
+    /// Statistics (read via the accessor methods below).
+    accepted: u64,
+    piggybacked: u64,
+    standalone_frames: u64,
+    invalid_slots: u64,
 }
 
 impl AckTracker {
@@ -402,9 +504,23 @@ impl AckTracker {
     /// with sequence number `seq` was accepted (or recognized as a
     /// duplicate of an accepted frame) and must (re-)acknowledge. The
     /// stored value is the packed [`ack_word`].
-    pub fn on_accept(&mut self, src: NodeId, slot: u16, gen: u8) {
-        self.pending.entry(src).or_default().push(ack_word(slot, gen));
-        self.accepted += 1;
+    ///
+    /// Returns `false` (counting the refusal) when `slot` does not fit the
+    /// ack word's 10-bit field — a malformed frame whose ack would alias
+    /// another slot on the sender. The frame should be dropped unacked;
+    /// the sender recovers it by timeout.
+    pub fn on_accept(&mut self, src: NodeId, slot: u16, gen: u8) -> bool {
+        match ack_word(slot, gen) {
+            Some(word) => {
+                self.pending.entry(src).or_default().push(word);
+                self.accepted += 1;
+                true
+            }
+            None => {
+                self.invalid_slots += 1;
+                false
+            }
+        }
     }
 
     /// Drop every pending ack toward `dst` (the peer died; acks to it
@@ -468,6 +584,28 @@ impl AckTracker {
             v.drain(..start);
         }
     }
+
+    // ---- read-only statistics -------------------------------------------
+
+    /// Frames accepted (or re-recognized) whose acks were queued.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Acks that rode in data-frame piggyback areas.
+    pub fn piggybacked(&self) -> u64 {
+        self.piggybacked
+    }
+
+    /// Standalone ack frames emitted.
+    pub fn standalone_frames(&self) -> u64 {
+        self.standalone_frames
+    }
+
+    /// [`AckTracker::on_accept`] refusals: slots too wide for the ack word.
+    pub fn invalid_slots(&self) -> u64 {
+        self.invalid_slots
+    }
 }
 
 #[cfg(test)]
@@ -480,10 +618,19 @@ mod tests {
 
     #[test]
     fn ack_word_packs_slot_and_tag() {
-        assert_eq!(ack_word_parts(ack_word(0, 0)), (0, 0));
-        assert_eq!(ack_word_parts(ack_word(1023, 0x67)), (1023, 0x27));
-        let w = ack_word(513, 0xFF);
+        assert_eq!(ack_word_parts(ack_word(0, 0).unwrap()), (0, 0));
+        assert_eq!(ack_word_parts(ack_word(1023, 0x67).unwrap()), (1023, 0x27));
+        let w = ack_word(513, 0xFF).unwrap();
         assert_eq!(ack_word_parts(w), (513, 0x3F));
+    }
+
+    #[test]
+    fn ack_word_refuses_oversized_slots() {
+        // 1024 would alias slot 0's word in the 10-bit field; the old
+        // debug_assert let release builds do exactly that.
+        assert_eq!(ack_word(1024, 0), None);
+        assert_eq!(ack_word(u16::MAX, 0x3F), None);
+        assert!(ack_word((REJECT_SLOT_LIMIT - 1) as u16, 0).is_some());
     }
 
     #[test]
@@ -494,7 +641,7 @@ mod tests {
         assert!(s.begin_send(0).is_none());
         assert!(!s.can_send());
         s.store(a, ());
-        s.on_ack(ack_word(a, s.gen(a)));
+        s.on_ack(ack_word(a, s.gen(a)).unwrap(), 0);
         assert!(s.can_send());
         let c = s.begin_send(0).unwrap();
         assert_eq!(c, a, "slot recycled");
@@ -512,28 +659,39 @@ mod tests {
         assert_eq!(s.pending_retransmits(), 1);
         let (rs, payload) = s.pop_retransmit(0).unwrap();
         assert_eq!((rs, payload), (slot, 777));
-        assert_eq!(s.retransmitted, 1);
-        s.on_ack(ack_word(slot, gen));
-        assert_eq!(s.acked, 1);
+        assert_eq!(s.retransmitted(), 1);
+        s.on_ack(ack_word(slot, gen).unwrap(), 0);
+        assert_eq!(s.acked(), 1);
         assert_eq!(s.outstanding(), 0);
+    }
+
+    #[test]
+    fn on_ack_reports_round_trip_ticks() {
+        let mut s: SenderFlow<()> = flow(2);
+        let slot = s.begin_send(100).unwrap();
+        let gen = s.gen(slot);
+        s.store(slot, ());
+        assert_eq!(s.on_ack(ack_word(slot, gen).unwrap(), 175), Some(75));
+        // A stray re-ack reports nothing.
+        assert_eq!(s.on_ack(ack_word(slot, gen).unwrap(), 200), None);
     }
 
     #[test]
     fn stray_and_mistagged_acks_counted_not_fatal() {
         let mut s: SenderFlow<()> = flow(2);
-        s.on_ack(ack_word(0, 0));
-        s.on_ack(ack_word(17, 0));
-        assert_eq!(s.stray_acks, 2);
+        s.on_ack(ack_word(0, 0).unwrap(), 0);
+        s.on_ack(ack_word(17, 0).unwrap(), 0);
+        assert_eq!(s.stray_acks(), 2);
         let slot = s.begin_send(0).unwrap();
         let gen = s.gen(slot);
         s.store(slot, ());
         // Ack for the same slot under a stale generation must not free it
         // (the previous occupant's tag is gen - 1).
-        s.on_ack(ack_word(slot, gen.wrapping_sub(1)));
-        assert_eq!(s.stray_acks, 3);
+        s.on_ack(ack_word(slot, gen.wrapping_sub(1)).unwrap(), 0);
+        assert_eq!(s.stray_acks(), 3);
         assert_eq!(s.outstanding(), 1);
-        s.on_ack(ack_word(slot, gen));
-        assert_eq!(s.acked, 1);
+        s.on_ack(ack_word(slot, gen).unwrap(), 0);
+        assert_eq!(s.acked(), 1);
         assert_eq!(s.outstanding(), 0);
     }
 
@@ -565,7 +723,29 @@ mod tests {
         assert_eq!(retx, 2, "budget of 2 retries before failure");
         assert_eq!(dead, vec![555]);
         assert_eq!(s.outstanding(), 0, "failed slot freed");
-        assert_eq!(s.timer_retransmits, 2);
+        assert_eq!(s.timer_retransmits(), 2);
+    }
+
+    #[test]
+    fn seq_window_buffer_refuses_misuse() {
+        let mut w: SeqWindow<&str> = SeqWindow::new(4);
+        assert!(w.buffer(2, "ahead").is_ok());
+        // Double-insert hands the frame back instead of overwriting.
+        assert_eq!(w.buffer(2, "dup"), Err((SeqBufferError::Occupied, "dup")));
+        // seq == next is InOrder, not Ahead; seq past the lookahead and
+        // already-delivered (wrapped-negative delta) are out of window.
+        assert_eq!(w.buffer(0, "now"), Err((SeqBufferError::OutOfWindow, "now")));
+        assert_eq!(w.buffer(5, "far"), Err((SeqBufferError::OutOfWindow, "far")));
+        assert_eq!(
+            w.buffer(u32::MAX, "old"),
+            Err((SeqBufferError::OutOfWindow, "old"))
+        );
+        assert_eq!(w.buffer_misuse(), 4);
+        assert_eq!(w.buffered(), 1, "misuse never parked anything");
+        // The valid parked frame still releases once the gap fills.
+        w.advance();
+        w.advance();
+        assert_eq!(w.take_ready(), Some("ahead"));
     }
 
     #[test]
@@ -577,9 +757,19 @@ mod tests {
         let p = a.take_piggy(NodeId(1));
         assert_eq!(p.as_slice(), &[0, 1, 2, 3]);
         assert_eq!(a.pending_for(NodeId(1)), 2);
-        assert_eq!(a.piggybacked, 4);
+        assert_eq!(a.piggybacked(), 4);
         // No pending acks toward node 2.
         assert!(a.take_piggy(NodeId(2)).is_empty());
+    }
+
+    #[test]
+    fn ack_tracker_refuses_oversized_slot() {
+        let mut a = AckTracker::new();
+        assert!(!a.on_accept(NodeId(1), 1024, 0));
+        assert_eq!(a.invalid_slots(), 1);
+        assert_eq!(a.pending_total(), 0, "no aliased ack queued");
+        assert!(a.on_accept(NodeId(1), 1023, 0));
+        assert_eq!(a.accepted(), 1);
     }
 
     fn collect_standalone(a: &mut AckTracker, force: bool) -> Vec<(NodeId, Vec<u16>)> {
@@ -642,6 +832,6 @@ mod tests {
             assert_eq!(p.as_slice(), &[round]);
         }
         assert_eq!(a.pending_total(), 0);
-        assert_eq!(a.piggybacked, 100);
+        assert_eq!(a.piggybacked(), 100);
     }
 }

@@ -70,13 +70,24 @@ pub mod stream;
 pub use endpoint::{EndpointConfig, EndpointCore, EndpointStats, SendError};
 pub use fabric::{spsc_ring, BufferPool, RingConsumer, RingProducer};
 pub use fault::{FaultConfig, FaultEvent, FaultInjector, FaultKind, FaultStats, LinkFaults};
-pub use flow::{ack_word, ack_word_parts, gen_tag, RetransmitConfig, SeqClass, SeqWindow};
+pub use flow::{
+    ack_word, ack_word_parts, gen_tag, RetransmitConfig, SeqBufferError, SeqClass, SeqWindow,
+};
 pub use frame::{
     crc32, CodecError, FrameKind, WireFrame, FM_CRC_BYTES, FM_FRAME_MAX, FM_FRAME_PAYLOAD,
     FM_HEADER_BYTES,
 };
 pub use handler::{Handler, HandlerId, HandlerRegistry, Outbox};
 pub use mem::{ClusterRunner, FabricKind, MemCluster, MemEndpoint, ShutdownError};
+
+// Every endpoint carries an `fm_telemetry::Telemetry` handle (see
+// `EndpointCore::telemetry`); re-exported so callers can name the counter /
+// metric enums without a separate dependency. Build with the
+// `telemetry-off` feature to compile the handle down to nothing.
+pub use fm_telemetry::{
+    Counter as TelemetryCounter, EventKind as TraceEventKind, Metric as TelemetryMetric,
+    Telemetry, TelemetrySnapshot,
+};
 
 // FM addresses nodes with the same ids the network does.
 pub use fm_myrinet::NodeId;

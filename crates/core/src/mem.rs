@@ -35,6 +35,7 @@ use crate::fault::{flip_bit, FaultConfig, FaultEvent, FaultInjector, FaultStats,
 use crate::frame::{CodecError, WireFrame};
 use crate::handler::{HandlerId, Outbox};
 use crate::seg::{self, Reassembly};
+use fm_telemetry::{Counter, Metric, Telemetry};
 
 /// The reserved handler id for segmentation fragments.
 pub const SEG_HANDLER: HandlerId = HandlerId(0);
@@ -208,6 +209,11 @@ pub struct MemEndpoint {
     /// Large-message handlers that panicked (the handler is dropped; later
     /// completions for its id are discarded).
     pub large_handler_panics: u64,
+    /// Pre-cloned copy of the core's telemetry handle for `pump_wire`,
+    /// whose sink closure holds the mutable borrow of `core`. Cloning
+    /// there instead would cost an atomic refcount round trip per
+    /// `extract` spin.
+    telemetry: Telemetry,
 }
 
 impl MemEndpoint {
@@ -218,15 +224,23 @@ impl MemEndpoint {
         {
             let completed = completed_large.clone();
             let reasm = reasm.clone();
+            let telemetry = core.telemetry().clone();
             core.register_handler_at(
                 SEG_HANDLER,
                 Box::new(move |_out, src, frag| {
-                    if let Ok(Some((handler, msg))) = reasm.lock().on_fragment(src, frag) {
+                    let mut r = reasm.lock();
+                    let evicted_before = r.evicted_partials();
+                    if let Ok(Some((handler, msg))) = r.on_fragment(src, frag) {
                         completed.lock().push_back((src, handler, msg));
+                    }
+                    let evicted = r.evicted_partials() - evicted_before;
+                    if evicted > 0 {
+                        telemetry.add(Counter::EvictedPartials, evicted);
                     }
                 }),
             );
         }
+        let telemetry = core.telemetry().clone();
         MemEndpoint {
             core,
             wire_tx,
@@ -240,6 +254,7 @@ impl MemEndpoint {
             faults: None,
             codec_errors: 0,
             large_handler_panics: 0,
+            telemetry,
         }
     }
 
@@ -249,6 +264,12 @@ impl MemEndpoint {
 
     pub fn stats(&self) -> EndpointStats {
         self.core.stats()
+    }
+
+    /// This endpoint's telemetry handle (counters, histograms, trace ring);
+    /// see [`crate::endpoint::EndpointCore::telemetry`].
+    pub fn telemetry(&self) -> &Telemetry {
+        self.core.telemetry()
     }
 
     /// Number of peers (including self).
@@ -515,7 +536,7 @@ impl MemEndpoint {
     /// Reassembly statistics: (fragments seen, messages completed).
     pub fn reassembly_stats(&self) -> (u64, u64) {
         let r = self.reasm.lock();
-        (r.fragments, r.completed)
+        (r.fragments(), r.completed())
     }
 
     // ---- internals ---------------------------------------------------------
@@ -525,6 +546,7 @@ impl MemEndpoint {
             wire_rx,
             core,
             codec_errors,
+            telemetry,
             ..
         } = self;
         // CRC failures are expected under fault injection and are counted
@@ -544,7 +566,13 @@ impl MemEndpoint {
                 loop {
                     let mut drained = 0;
                     for c in consumers.iter_mut().flatten() {
-                        drained += c.poll_batch(WIRE_POLL_BATCH, &mut sink);
+                        let got = c.poll_batch(WIRE_POLL_BATCH, &mut sink);
+                        if got > 0 {
+                            // Batch occupancy: how full each one-Acquire
+                            // drain ran (empty sweeps are not samples).
+                            telemetry.record(Metric::PollBatch, got as u64);
+                        }
+                        drained += got;
                     }
                     if drained == 0 {
                         break;
@@ -552,8 +580,13 @@ impl MemEndpoint {
                 }
             }
             WireRx::Channel(rx) => {
+                let mut got = 0u64;
                 while let Ok(bytes) = rx.try_recv() {
                     sink(&bytes);
+                    got += 1;
+                }
+                if got > 0 {
+                    telemetry.record(Metric::PollBatch, got);
                 }
             }
         }
@@ -644,7 +677,12 @@ impl MemEndpoint {
     /// stalled peer from wedging reassembly or quiescence forever.
     fn reap_dead_peers(&mut self) {
         for peer in self.core.take_newly_dead() {
-            self.reasm.lock().abort_source(peer);
+            let aborted = self.reasm.lock().abort_source(peer);
+            if aborted > 0 {
+                self.core
+                    .telemetry()
+                    .add(Counter::ReassemblyAborts, aborted as u64);
+            }
             self.backlog.retain(|of| of.frame.dst != peer);
             self.deferred.retain(|(dst, _, _)| *dst != peer);
         }

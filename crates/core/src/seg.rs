@@ -123,27 +123,63 @@ fn parse(frag: &[u8]) -> Result<(FragHeader, &[u8]), FragError> {
     Ok((h, data))
 }
 
+/// Default cap on concurrently-open partial messages per source node.
+///
+/// Without a cap, a live (never declared dead) peer that starts messages
+/// and abandons them — or a duplicate-storm of first fragments with fresh
+/// msg_ids — grows the partial map without bound. 64 open messages per
+/// source is far above anything the in-order `send_large` path produces
+/// (it opens one at a time).
+pub const DEFAULT_MAX_PARTIALS_PER_SOURCE: usize = 64;
+
 #[derive(Debug)]
 struct Partial {
     buf: Vec<u8>,
     seen: Vec<bool>,
     remaining: usize,
     handler: HandlerId,
+    /// Arrival stamp of the first fragment (eviction picks the oldest).
+    started: u64,
 }
 
 /// Per-node reassembly state.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Reassembly {
     partial: HashMap<(NodeId, u32), Partial>,
-    /// Statistics.
-    pub completed: u64,
-    pub fragments: u64,
-    pub errors: u64,
+    max_partials_per_source: usize,
+    /// Monotonic fragment-arrival counter, stamps new partials.
+    clock: u64,
+    /// Statistics (read via the accessor methods below).
+    completed: u64,
+    fragments: u64,
+    errors: u64,
+    evicted_partials: u64,
+}
+
+impl Default for Reassembly {
+    fn default() -> Self {
+        Self::with_max_partials(DEFAULT_MAX_PARTIALS_PER_SOURCE)
+    }
 }
 
 impl Reassembly {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A reassembler allowing up to `cap` concurrently-open partial
+    /// messages per source before the oldest is evicted (`cap >= 1`).
+    pub fn with_max_partials(cap: usize) -> Self {
+        assert!(cap >= 1, "a zero cap could never open a partial");
+        Reassembly {
+            partial: HashMap::new(),
+            max_partials_per_source: cap,
+            clock: 0,
+            completed: 0,
+            fragments: 0,
+            errors: 0,
+            evicted_partials: 0,
+        }
     }
 
     /// Messages currently partially assembled.
@@ -177,12 +213,35 @@ impl Reassembly {
             }
         };
         self.fragments += 1;
+        self.clock += 1;
         let key = (src, h.msg_id);
+        if !self.partial.contains_key(&key) {
+            // Opening a new partial: enforce the per-source cap by evicting
+            // the source's oldest open message. A live peer abandoning
+            // messages (or forging fresh msg_ids) must not grow this map
+            // without bound — dead peers are purged elsewhere
+            // (`abort_source`), but liveness alone bounded nothing.
+            let open = self.partial.keys().filter(|(s, _)| *s == src).count();
+            if open >= self.max_partials_per_source {
+                if let Some(oldest) = self
+                    .partial
+                    .iter()
+                    .filter(|((s, _), _)| *s == src)
+                    .min_by_key(|(_, p)| p.started)
+                    .map(|(k, _)| *k)
+                {
+                    self.partial.remove(&oldest);
+                    self.evicted_partials += 1;
+                }
+            }
+        }
+        let clock = self.clock;
         let p = self.partial.entry(key).or_insert_with(|| Partial {
             buf: vec![0; h.total_len as usize],
             seen: vec![false; h.count as usize],
             remaining: h.count as usize,
             handler: h.handler,
+            started: clock,
         });
         // A fragment keyed into an existing partial must agree with its
         // shape (a msg_id collision after wraparound, or a stray fragment
@@ -213,6 +272,28 @@ impl Reassembly {
             Ok(None)
         }
     }
+
+    // ---- read-only statistics -------------------------------------------
+
+    /// Messages fully reassembled and handed out.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Well-formed fragments accepted.
+    pub fn fragments(&self) -> u64 {
+        self.fragments
+    }
+
+    /// Malformed / duplicate fragments plus aborted partial messages.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Partial messages evicted by the per-source cap.
+    pub fn evicted_partials(&self) -> u64 {
+        self.evicted_partials
+    }
 }
 
 #[cfg(test)]
@@ -228,7 +309,7 @@ mod tests {
         let mut r = Reassembly::new();
         let out = r.on_fragment(NodeId(2), &frags[0]).unwrap();
         assert_eq!(out, Some((HandlerId(9), data)));
-        assert_eq!(r.completed, 1);
+        assert_eq!(r.completed(), 1);
         assert_eq!(r.in_progress(), 0);
     }
 
@@ -295,7 +376,7 @@ mod tests {
         }
         // Both completed with their own data (len 300 needs 3 frags; zip
         // covered all).
-        assert_eq!(r.completed, 2);
+        assert_eq!(r.completed(), 2);
     }
 
     #[test]
@@ -307,7 +388,41 @@ mod tests {
             r.on_fragment(NodeId(0), &frags[0]),
             Err(FragError::Duplicate)
         );
-        assert_eq!(r.errors, 1);
+        assert_eq!(r.errors(), 1);
+    }
+
+    #[test]
+    fn per_source_partial_cap_evicts_oldest() {
+        // Cap 3: a live peer opening abandoned messages stays bounded.
+        let mut r = Reassembly::with_max_partials(3);
+        let open = |r: &mut Reassembly, id: u32| {
+            // First fragment of a 2-fragment message — never completed.
+            let frags = fragment(id, HandlerId(1), &[id as u8; FRAG_DATA + 1]);
+            r.on_fragment(NodeId(7), &frags[0]).unwrap();
+        };
+        for id in 0..3 {
+            open(&mut r, id);
+        }
+        assert_eq!(r.in_progress(), 3);
+        assert_eq!(r.evicted_partials(), 0);
+        // A 4th open evicts the oldest (msg 0), then a 5th evicts msg 1.
+        open(&mut r, 3);
+        open(&mut r, 4);
+        assert_eq!(r.in_progress(), 3);
+        assert_eq!(r.evicted_partials(), 2);
+        // Msg 0 was evicted: its second fragment reopens it (and evicts
+        // msg 2, now the oldest) rather than completing.
+        let frags0 = fragment(0, HandlerId(1), &[0u8; FRAG_DATA + 1]);
+        assert_eq!(r.on_fragment(NodeId(7), &frags0[1]).unwrap(), None);
+        assert_eq!(r.evicted_partials(), 3);
+        // Msg 4 survived every round: completing it still works.
+        let frags4 = fragment(4, HandlerId(1), &[4u8; FRAG_DATA + 1]);
+        let done = r.on_fragment(NodeId(7), &frags4[1]).unwrap();
+        assert_eq!(done, Some((HandlerId(1), vec![4u8; FRAG_DATA + 1])));
+        // Another source is not constrained by node 7's occupancy.
+        let other = fragment(9, HandlerId(1), &[9u8; FRAG_DATA + 1]);
+        r.on_fragment(NodeId(8), &other[0]).unwrap();
+        assert_eq!(r.evicted_partials(), 3);
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Release-profile regression tests for the protocol guards.
+//!
+//! Three guards in this crate used to be `debug_assert!`s, which compile
+//! to nothing under `--release` — exactly the profile every benchmark and
+//! deployment uses. A caller breaking the contract in release would
+//! silently corrupt protocol state:
+//!
+//! * `flow::ack_word` happily truncated slots >= 1024 into the 10-bit
+//!   field, aliasing the ack onto an unrelated send record;
+//! * `SeqWindow::buffer` overwrote an already-parked frame (losing the
+//!   first one) or parked an out-of-window sequence that `release()`
+//!   would then never free;
+//! * `seg::Reassembly` grew its partial-message map without bound while
+//!   a peer stayed alive.
+//!
+//! All three are now checked in every profile. These tests drive each
+//! misuse path; CI runs this file under `--release` specifically (see
+//! `.github/workflows/ci.yml`) so the guards are exercised with debug
+//! assertions compiled out.
+
+use fm_core::flow::{ack_word, AckTracker, SeqBufferError, SeqClass, SeqWindow};
+use fm_core::seg::{fragment, Reassembly, FRAG_DATA};
+use fm_core::{HandlerId, NodeId};
+
+/// Marker: when this test runs, the profile really has debug assertions
+/// compiled out, so the checks below cannot be satisfied by leftover
+/// `debug_assert!`s. (Present only in release builds; the debug run of
+/// this file still exercises the same guards, just redundantly.)
+#[cfg(not(debug_assertions))]
+#[test]
+fn built_without_debug_assertions() {
+    assert!(!cfg!(debug_assertions));
+}
+
+#[test]
+fn ack_word_refuses_slot_wider_than_field() {
+    // 1024 truncated into the 10-bit slot field would alias slot 0.
+    assert_eq!(ack_word(1024, 3), None);
+    assert_eq!(ack_word(u16::MAX, 0), None);
+    // The last representable slot still encodes.
+    assert!(ack_word(1023, 3).is_some());
+}
+
+#[test]
+fn ack_tracker_counts_invalid_slots_instead_of_aliasing() {
+    let mut t = AckTracker::new();
+    assert!(!t.on_accept(NodeId(2), 1024, 0), "oversized slot must be refused");
+    assert_eq!(t.invalid_slots(), 1);
+    assert_eq!(t.accepted(), 0, "no ack may be queued for an invalid slot");
+    assert!(t.on_accept(NodeId(2), 1023, 0));
+    assert_eq!(t.accepted(), 1);
+}
+
+#[test]
+fn seq_window_buffer_rejects_occupied_slot() {
+    let mut w: SeqWindow<&str> = SeqWindow::new(8);
+    assert_eq!(w.classify(3), SeqClass::Ahead);
+    assert!(w.buffer(3, "first").is_ok());
+    // A duplicate park must not overwrite the first frame.
+    let (err, returned) = w.buffer(3, "second").unwrap_err();
+    assert_eq!(err, SeqBufferError::Occupied);
+    assert_eq!(returned, "second", "the rejected item comes back to the caller");
+    assert_eq!(w.buffer_misuse(), 1);
+    // Delivering 0..=2 releases the *original* parked frame.
+    for seq in 0..3 {
+        assert_eq!(w.classify(seq), SeqClass::InOrder);
+        w.advance();
+    }
+    assert_eq!(w.take_ready(), Some("first"));
+}
+
+#[test]
+fn seq_window_buffer_rejects_out_of_window_seqs() {
+    let mut w: SeqWindow<u32> = SeqWindow::new(8);
+    // next itself (delta 0): an in-order frame must be delivered, not parked.
+    let (err, _) = w.buffer(0, 0).unwrap_err();
+    assert_eq!(err, SeqBufferError::OutOfWindow);
+    // Beyond the lookahead.
+    let (err, _) = w.buffer(9, 9).unwrap_err();
+    assert_eq!(err, SeqBufferError::OutOfWindow);
+    // Behind the window (wrapping delta is huge).
+    let (err, _) = w.buffer(u32::MAX, 99).unwrap_err();
+    assert_eq!(err, SeqBufferError::OutOfWindow);
+    assert_eq!(w.buffer_misuse(), 3);
+    assert_eq!(w.buffered(), 0, "no misuse may leave state behind");
+}
+
+#[test]
+fn reassembly_caps_partials_per_source() {
+    let src = NodeId(5);
+    let mut r = Reassembly::with_max_partials(2);
+    let payload = vec![0xABu8; FRAG_DATA + 1]; // two fragments each
+    let first_frag = |msg_id: u32| fragment(msg_id, HandlerId(1), &payload)[0].clone();
+    for msg_id in 0..3u32 {
+        assert!(r.on_fragment(src, &first_frag(msg_id)).unwrap().is_none());
+    }
+    // Opening the third partial evicted the oldest (msg 0); the map stays
+    // at the cap instead of growing for as long as the peer lives.
+    assert_eq!(r.in_progress(), 2);
+    assert_eq!(r.evicted_partials(), 1);
+    // Completing msg 0 now takes a fresh start: its tail fragment alone
+    // reopens a partial rather than completing the evicted one.
+    let tail = fragment(0, HandlerId(1), &payload)[1].clone();
+    assert!(r.on_fragment(src, &tail).unwrap().is_none());
+    // Survivors (msgs 1 and 2 were newer) still complete normally.
+    let tail2 = fragment(2, HandlerId(1), &payload)[1].clone();
+    let (h, msg) = r.on_fragment(src, &tail2).unwrap().expect("msg 2 completes");
+    assert_eq!(h, HandlerId(1));
+    assert_eq!(msg, payload);
+}

@@ -1,0 +1,231 @@
+//! Bounded per-endpoint trace-event ring with post-mortem export.
+//!
+//! Protocol-level events (send / bounce / retransmit / slot reuse / peer
+//! death) are recorded as small `Copy` structs into a fixed-capacity ring
+//! that overwrites its oldest entry when full — recording never allocates
+//! and the memory bound is set at construction. After a run (or a wedge)
+//! the ring dumps as JSON lines or as a chrome-trace file
+//! (`chrome://tracing` / Perfetto instant events on a per-node track), the
+//! time-axis view that makes ABA-style slot-reuse bugs visible.
+
+/// One recorded protocol event. Everything is `Copy` — no heap data — so
+/// pushing an event never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The endpoint's virtual clock (extract ticks) when the event fired.
+    pub tick: u64,
+    /// The recording node.
+    pub node: u16,
+    pub kind: EventKind,
+}
+
+/// What happened. Peer/slot/seq fields are raw wire-level ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A fresh data frame was queued for the wire.
+    Send { dst: u16, slot: u16, seq: u32 },
+    /// One of our frames came back bounced (receiver full).
+    Bounce { peer: u16, slot: u16 },
+    /// A frame was retransmitted; `timer` distinguishes timeout recovery
+    /// from bounce-driven resends.
+    Retransmit { peer: u16, slot: u16, timer: bool },
+    /// A send-window slot was reserved for the 2nd+ time (its generation
+    /// tag advanced) — the reuse events an ABA diagnosis needs.
+    SlotReuse { slot: u16, gen: u8 },
+    /// A peer exhausted its retry budget and was declared dead.
+    PeerDead { peer: u16 },
+}
+
+impl EventKind {
+    /// Short stable name, used as the chrome-trace event name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Send { .. } => "send",
+            EventKind::Bounce { .. } => "bounce",
+            EventKind::Retransmit { .. } => "retransmit",
+            EventKind::SlotReuse { .. } => "slot_reuse",
+            EventKind::PeerDead { .. } => "peer_dead",
+        }
+    }
+
+    fn args_json(self) -> String {
+        match self {
+            EventKind::Send { dst, slot, seq } => {
+                format!("{{\"dst\":{dst},\"slot\":{slot},\"seq\":{seq}}}")
+            }
+            EventKind::Bounce { peer, slot } => format!("{{\"peer\":{peer},\"slot\":{slot}}}"),
+            EventKind::Retransmit { peer, slot, timer } => {
+                format!("{{\"peer\":{peer},\"slot\":{slot},\"timer\":{timer}}}")
+            }
+            EventKind::SlotReuse { slot, gen } => format!("{{\"slot\":{slot},\"gen\":{gen}}}"),
+            EventKind::PeerDead { peer } => format!("{{\"peer\":{peer}}}"),
+        }
+    }
+}
+
+impl TraceEvent {
+    /// One JSON object (used both standalone and inside the chrome trace).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"tick\":{},\"node\":{},\"event\":\"{}\",\"args\":{}}}",
+            self.tick,
+            self.node,
+            self.kind.name(),
+            self.kind.args_json()
+        )
+    }
+
+    /// One chrome-trace *instant* event: the tick maps to the microsecond
+    /// timestamp axis, the node becomes the pid so each endpoint gets its
+    /// own track.
+    pub fn to_chrome(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{},\"tid\":0,\"args\":{}}}",
+            self.kind.name(),
+            self.tick,
+            self.node,
+            self.kind.args_json()
+        )
+    }
+}
+
+/// Fixed-capacity overwrite-oldest ring of [`TraceEvent`]s.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Index the next push writes (== oldest entry once full).
+    head: usize,
+    /// Total events ever pushed (so overwritten history is countable).
+    pushed: u64,
+}
+
+impl EventRing {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "an event ring needs at least one slot");
+        EventRing {
+            buf: Vec::with_capacity(capacity),
+            cap: capacity,
+            head: 0,
+            pushed: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events currently retained (<= capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever pushed, including overwritten ones.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Record an event, overwriting the oldest once the ring is full. The
+    /// backing storage is allocated up front (first `capacity` pushes fill
+    /// the preallocated Vec), so steady-state pushes never allocate.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+        }
+        self.pushed += 1;
+    }
+
+    /// Iterate retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (older, newer) = self.buf.split_at(self.head.min(self.buf.len()));
+        newer.iter().chain(older.iter())
+    }
+
+    /// Retained events, oldest first.
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
+        self.iter().copied().collect()
+    }
+}
+
+/// Render a set of events as a chrome-trace JSON document (load it in
+/// `chrome://tracing` or Perfetto).
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&ev.to_chrome());
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tick: u64) -> TraceEvent {
+        TraceEvent {
+            tick,
+            node: 0,
+            kind: EventKind::Send {
+                dst: 1,
+                slot: (tick % 64) as u16,
+                seq: tick as u32,
+            },
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_on_wraparound() {
+        let mut r = EventRing::new(4);
+        for t in 0..10 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.pushed(), 10);
+        let ticks: Vec<u64> = r.iter().map(|e| e.tick).collect();
+        assert_eq!(ticks, vec![6, 7, 8, 9], "oldest-first, newest retained");
+    }
+
+    #[test]
+    fn partial_fill_iterates_in_order() {
+        let mut r = EventRing::new(8);
+        for t in 0..3 {
+            r.push(ev(t));
+        }
+        let ticks: Vec<u64> = r.iter().map(|e| e.tick).collect();
+        assert_eq!(ticks, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn json_and_chrome_forms_are_well_formed() {
+        let e = TraceEvent {
+            tick: 42,
+            node: 3,
+            kind: EventKind::Retransmit {
+                peer: 1,
+                slot: 9,
+                timer: true,
+            },
+        };
+        let j = e.to_json();
+        assert!(j.contains("\"event\":\"retransmit\"") && j.contains("\"timer\":true"));
+        let doc = chrome_trace(&[e, ev(1)]);
+        assert!(doc.starts_with("{\"traceEvents\":[{"));
+        assert!(doc.contains("\"ph\":\"i\"") && doc.contains("\"pid\":3"));
+        assert!(doc.ends_with("}"));
+        // Balanced braces — cheap well-formedness check without a parser.
+        let opens = doc.matches('{').count();
+        let closes = doc.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+}

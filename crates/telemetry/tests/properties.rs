@@ -1,0 +1,114 @@
+//! Property and concurrency tests for fm-telemetry.
+//!
+//! * The histogram's nearest-rank quantile is checked against an exact
+//!   sorted-`Vec` model: the log2-linear buckets may only bias the answer
+//!   *upward*, by at most one part in 32 (the sub-bucket resolution).
+//!   This is the contract that let the bench bins and the testbed replace
+//!   their sorted-vec percentile code with the histogram.
+//! * Counter snapshots must be consistent under concurrent senders.
+//! * The event ring must keep exactly the newest `capacity` events across
+//!   wraparound while still counting every push.
+
+use fm_telemetry::{chrome_trace, Counter, EventKind, Histogram, Telemetry};
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile over the raw samples — the model the
+/// histogram approximates (and the code it replaced in the bench bins).
+/// Same rank convention as `Histogram::quantile`: 1-indexed `ceil(q*n)`.
+fn exact_quantile(samples: &mut [u64], q: f64) -> u64 {
+    samples.sort_unstable();
+    let n = samples.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    samples[(rank - 1) as usize]
+}
+
+proptest! {
+    #[test]
+    fn histogram_quantile_tracks_exact_model(
+        samples in proptest::collection::vec(0u64..=1_000_000_000_000, 1..120),
+        qi in 0usize..5,
+    ) {
+        let q = [0.0, 0.5, 0.9, 0.99, 1.0][qi];
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut model = samples.clone();
+        let exact = exact_quantile(&mut model, q);
+        let approx = h.quantile(q);
+        // Upward-biased: never report a latency better than reality...
+        prop_assert!(approx >= exact, "quantile({q}) = {approx} < exact {exact}");
+        // ...and never worse than one sub-bucket (1/32) above it.
+        prop_assert!(
+            approx - exact <= exact / 32 + 1,
+            "quantile({q}) = {approx} overshoots exact {exact} by more than 1/32"
+        );
+        prop_assert!(approx <= h.max(), "quantile must never exceed the observed max");
+    }
+
+    #[test]
+    fn histogram_count_and_bounds_match_model(
+        samples in proptest::collection::vec(0u64..=1_000_000, 1..120),
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
+        prop_assert_eq!(h.min(), *samples.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+    }
+}
+
+#[test]
+fn counter_snapshot_consistent_under_concurrent_senders() {
+    // Only meaningful when the handle actually counts.
+    if !fm_telemetry::ENABLED {
+        return;
+    }
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 50_000;
+    let t = Telemetry::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let t = t.clone();
+            s.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    t.incr(Counter::Sends);
+                    t.add(Counter::Bounces, 2);
+                }
+            });
+        }
+        // Snapshots taken mid-run must never observe more bounces than
+        // twice the sends that produced them... they may observe fewer
+        // (the increments are two separate atomics), so only the final
+        // totals are exact.
+        for _ in 0..100 {
+            let s = t.snapshot();
+            let (sends, bounces) = (s.counter(Counter::Sends), s.counter(Counter::Bounces));
+            assert!(sends <= THREADS * PER_THREAD && bounces <= THREADS * PER_THREAD * 2);
+        }
+    });
+    assert_eq!(t.counter(Counter::Sends), THREADS * PER_THREAD);
+    assert_eq!(t.counter(Counter::Bounces), THREADS * PER_THREAD * 2);
+}
+
+#[test]
+fn event_ring_wraparound_keeps_newest() {
+    if !fm_telemetry::ENABLED {
+        return;
+    }
+    let t = Telemetry::with_trace_capacity(3, 8);
+    for tick in 0..20u64 {
+        t.trace(tick, EventKind::PeerDead { peer: tick as u16 });
+    }
+    assert_eq!(t.events_recorded(), 20);
+    let kept = t.events();
+    assert_eq!(kept.len(), 8, "ring holds exactly its capacity");
+    let ticks: Vec<u64> = kept.iter().map(|e| e.tick).collect();
+    assert_eq!(ticks, (12..20).collect::<Vec<_>>(), "oldest-first, newest kept");
+    // The chrome export carries every retained event.
+    let chrome = chrome_trace(&kept);
+    assert_eq!(chrome.matches("\"ph\":").count(), 8);
+}

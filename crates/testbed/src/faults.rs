@@ -300,13 +300,15 @@ pub fn run_loss_point(rate: f64, cfg: FaultSweepConfig) -> FaultPoint {
         "a corrupted frame slipped past the CRC"
     );
 
-    let mut lat: Vec<u64> = deliver_time
-        .iter()
-        .zip(&inject_time)
-        .map(|(d, i)| d.expect("all delivered").since(*i).as_ps())
-        .collect();
-    lat.sort_unstable();
-    let pct = |p: f64| Duration::from_ps(lat[((lat.len() - 1) as f64 * p).round() as usize]);
+    // Inject→deliver latency percentiles via the shared fm-telemetry
+    // histogram (log2-linear buckets, ≤1/32 relative quantization) — the
+    // same extractor the bench gate reads, replacing this module's old
+    // sorted-Vec percentile code.
+    let lat = fm_telemetry::Histogram::new();
+    for (d, i) in deliver_time.iter().zip(&inject_time) {
+        lat.record(d.expect("all delivered").since(*i).as_ps());
+    }
+    let pct = |p: f64| Duration::from_ps(lat.quantile(p));
 
     let elapsed = last_delivery.since(Time::ZERO);
     FaultPoint {

@@ -24,6 +24,7 @@ pub use fm_mpi;
 pub use fm_myrinet;
 pub use fm_myrinet_api;
 pub use fm_sbus;
+pub use fm_telemetry;
 pub use fm_testbed;
 
 /// Convenience prelude for examples and downstream users.

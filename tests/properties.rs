@@ -532,7 +532,7 @@ proptest! {
                 }
                 SeqClass::Ahead => {
                     prop_assert!(fresh, "window buffered duplicate seq {}", seq);
-                    win.buffer(seq, seq);
+                    prop_assert!(win.buffer(seq, seq).is_ok(), "classified Ahead must park");
                 }
                 SeqClass::TooFar => {
                     // lookahead >= 200 > n: reordering within 0..n can
@@ -552,9 +552,16 @@ proptest! {
     /// exactly, the tag matches the slot generation's low six bits.
     #[test]
     fn ack_word_roundtrip(slot in 0u16..1024, gen in any::<u8>()) {
-        let word = fm_core::ack_word(slot, gen);
+        let word = fm_core::ack_word(slot, gen).expect("slot fits the 10-bit field");
         let (s, tag) = fm_core::ack_word_parts(word);
         prop_assert_eq!(s, slot);
         prop_assert_eq!(tag, fm_core::gen_tag(gen));
+    }
+
+    /// Slots outside the 10-bit field are refused outright — a release
+    /// build must never pack a word whose low bits alias another slot.
+    #[test]
+    fn ack_word_rejects_wide_slots(slot in 1024u16..=u16::MAX, gen in any::<u8>()) {
+        prop_assert_eq!(fm_core::ack_word(slot, gen), None);
     }
 }
