@@ -156,6 +156,11 @@ fn probe_msgs(path: &str) -> Option<f64> {
     json_number(path, "msgs_per_sec")
 }
 
+/// Trace sample rate (1-in-N) the instrumented probe ran with.
+fn probe_trace_one_in(path: &str) -> Option<f64> {
+    json_number(path, "trace_one_in")
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
@@ -226,13 +231,14 @@ fn main() {
     }
 
     eprintln!("bench_gate: full-stack ping-pong ({rounds} rounds/fabric)...");
-    let ring_pp = pingpong(FabricKind::Ring, None, warmup, rounds);
-    let chan_pp = pingpong(FabricKind::Channel, None, warmup, rounds);
+    let ring_pp = pingpong(FabricKind::Ring, None, Default::default(), warmup, rounds);
+    let chan_pp = pingpong(FabricKind::Channel, None, Default::default(), warmup, rounds);
 
     eprintln!("bench_gate: reliability clean path (zero-rate injector, {rounds} rounds)...");
     let clean_faulty_pp = pingpong(
         FabricKind::Ring,
         Some(FaultConfig::new(0x000C_1EA4)),
+        Default::default(),
         warmup,
         rounds,
     );
@@ -255,6 +261,9 @@ fn main() {
     // same ring ping-pong. Positive = instrumentation costs throughput.
     let tel_on = tel_on_path.as_deref().and_then(probe_msgs);
     let tel_off = tel_off_path.as_deref().and_then(probe_msgs);
+    // The instrumented probe's causal-trace sample rate, recorded so the
+    // overhead number is interpretable (tracing cost scales with it).
+    let tel_trace_one_in = tel_on_path.as_deref().and_then(probe_trace_one_in);
     for (path, parsed) in [(&tel_on_path, tel_on), (&tel_off_path, tel_off)] {
         if let Some(p) = path {
             if parsed.is_none() {
@@ -299,6 +308,7 @@ fn main() {
             "    \"injector_overhead_pct\": {inj_pct:.1}\n",
             "  }},\n",
             "  \"telemetry\": {{\n",
+            "    \"trace_one_in\": {tel_rate},\n",
             "    \"on_msgs_per_sec\": {tel_on},\n",
             "    \"off_msgs_per_sec\": {tel_off},\n",
             "    \"overhead_pct\": {tel_pct},\n",
@@ -349,6 +359,10 @@ fn main() {
         cfp50 = clean_faulty_pp.p50_ns,
         cfp99 = clean_faulty_pp.p99_ns,
         inj_pct = injector_overhead * 100.0,
+        tel_rate = match tel_trace_one_in {
+            Some(v) => format!("{v:.0}"),
+            None => "null".to_string(),
+        },
         tel_on = match tel_on {
             Some(v) => format!("{v:.0}"),
             None => "null".to_string(),

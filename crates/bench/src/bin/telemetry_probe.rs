@@ -15,11 +15,16 @@
 
 use fm_bench::pingpong::pingpong;
 use fm_core::mem::FabricKind;
+use fm_core::EndpointConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
     let mut out_path = "BENCH_telemetry_probe.json".to_string();
+    // Causal-trace sample rate under test: 1-in-N sends carry a trace
+    // context and record span events. The default matches the production
+    // default in `EndpointConfig`; 0 disables tracing entirely.
+    let mut trace_one_in: u32 = EndpointConfig::default().trace_one_in;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -31,9 +36,16 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--trace-one-in" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => trace_one_in = n,
+                None => {
+                    eprintln!("error: --trace-one-in requires an integer");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("error: unknown argument `{other}`");
-                eprintln!("usage: telemetry_probe [--smoke] [--out PATH]");
+                eprintln!("usage: telemetry_probe [--smoke] [--out PATH] [--trace-one-in N]");
                 std::process::exit(2);
             }
         }
@@ -48,11 +60,16 @@ fn main() {
     let (warmup, rounds) = if smoke { (500, 2_000) } else { (20_000, 100_000) };
     let enabled = fm_telemetry::ENABLED;
     eprintln!(
-        "telemetry_probe: ring ping-pong, telemetry {} ({REPS} x {rounds} rounds)...",
+        "telemetry_probe: ring ping-pong, telemetry {}, trace 1-in-{trace_one_in} \
+         ({REPS} x {rounds} rounds)...",
         if enabled { "on" } else { "off" }
     );
+    let config = EndpointConfig {
+        trace_one_in,
+        ..Default::default()
+    };
     let pp = (0..REPS)
-        .map(|_| pingpong(FabricKind::Ring, None, warmup, rounds))
+        .map(|_| pingpong(FabricKind::Ring, None, config, warmup, rounds))
         .max_by(|a, b| a.msgs_per_sec.total_cmp(&b.msgs_per_sec))
         .expect("REPS >= 1");
 
@@ -63,6 +80,7 @@ fn main() {
             "  \"telemetry_enabled\": {enabled},\n",
             "  \"smoke\": {smoke},\n",
             "  \"rounds\": {rounds},\n",
+            "  \"trace_one_in\": {rate},\n",
             "  \"msgs_per_sec\": {mps:.0},\n",
             "  \"p50_frame_ns\": {p50},\n",
             "  \"p99_frame_ns\": {p99}\n",
@@ -71,6 +89,7 @@ fn main() {
         enabled = enabled,
         smoke = smoke,
         rounds = rounds,
+        rate = trace_one_in,
         mps = pp.msgs_per_sec,
         p50 = pp.p50_ns,
         p99 = pp.p99_ns,

@@ -15,7 +15,7 @@
 
 use crate::alloc_track::{allocations, AllocSnapshot};
 use fm_core::mem::{FabricKind, MemCluster};
-use fm_core::{FaultConfig, HandlerId, NodeId};
+use fm_core::{EndpointConfig, FaultConfig, HandlerId, NodeId};
 use fm_telemetry::Histogram;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -33,17 +33,20 @@ pub struct PingPong {
 }
 
 /// Serial echo rounds over the full protocol stack (window, acks, codec).
+/// `config` reaches both endpoints, so probe binaries can vary the trace
+/// sample rate (`EndpointConfig::trace_one_in`) against the same workload.
 pub fn pingpong(
     fabric: FabricKind,
     faults: Option<FaultConfig>,
+    config: EndpointConfig,
     warmup: u64,
     rounds: u64,
 ) -> PingPong {
     let mut nodes = match faults {
         // Zero-rate injector: every frame still pays the injector's
         // per-frame decision rolls — the clean-path worst case.
-        Some(f) => MemCluster::with_faulty_fabric(2, Default::default(), fabric, f),
-        None => MemCluster::with_fabric(2, Default::default(), fabric),
+        Some(f) => MemCluster::with_faulty_fabric(2, config, fabric, f),
+        None => MemCluster::with_fabric(2, config, fabric),
     };
     let mut b = nodes.pop().expect("node 1");
     let mut a = nodes.pop().expect("node 0");

@@ -21,8 +21,8 @@ use bytes::Bytes;
 use fm_myrinet::NodeId;
 use std::collections::VecDeque;
 
-use crate::flow::{AckTracker, RetransmitConfig, SenderFlow, SeqClass, SeqWindow};
-use crate::frame::{FrameKind, WireFrame, FM_FRAME_PAYLOAD};
+use crate::flow::{ack_word_parts, AckTracker, RetransmitConfig, SenderFlow, SeqClass, SeqWindow};
+use crate::frame::{FrameKind, TraceCtx, WireFrame, FM_FRAME_PAYLOAD};
 use crate::handler::{Handler, HandlerId, HandlerRegistry, Outbox};
 use crate::queues::PacketRing;
 use fm_telemetry::{Counter, EventKind, Metric, Telemetry};
@@ -134,6 +134,17 @@ pub struct EndpointConfig {
     /// buffer out-of-order frames per source; anything further is bounced
     /// back to the sender (bounding receiver memory).
     pub reorder_window: u32,
+    /// Causal-trace sampling rate: 1 in `trace_one_in` fresh sends mints a
+    /// cluster-wide trace id and records span events along the message's
+    /// whole life (send, wire-in, handler, ack round-trip); handler-issued
+    /// sends triggered by a traced delivery inherit the trace regardless
+    /// of this rate. `0` disables tracing; the `telemetry-off` feature
+    /// disables it unconditionally.
+    pub trace_one_in: u32,
+    /// Capacity of the endpoint's bounded trace [`fm_telemetry::EventRing`]
+    /// (protocol events and trace spans share it; the oldest entry is
+    /// overwritten when full).
+    pub trace_capacity: usize,
 }
 
 impl Default for EndpointConfig {
@@ -147,6 +158,8 @@ impl Default for EndpointConfig {
             rto_max: 1 << 16,
             retry_budget: 16,
             reorder_window: 1024,
+            trace_one_in: 64,
+            trace_capacity: fm_telemetry::DEFAULT_TRACE_CAPACITY,
         }
     }
 }
@@ -191,6 +204,16 @@ pub struct EndpointCore {
     /// Round-robin pick of which deliveries get their handler timed
     /// (1 in 8; see `deliver`).
     handler_probe: u32,
+    /// Fresh sends since construction, driving the 1-in-N trace sampling
+    /// decision (see [`EndpointConfig::trace_one_in`]).
+    trace_counter: u32,
+    /// The trace context of the sampled frame currently being delivered,
+    /// if any; handler-issued sends inherit it one hop deeper.
+    active_trace: Option<TraceCtx>,
+    /// Per-window-slot trace contexts of in-flight sampled frames, so the
+    /// first valid ack for a slot can be attributed to its trace (an ack
+    /// word carries only slot + generation, never the trace id).
+    traced_slots: Vec<Option<TraceCtx>>,
 }
 
 impl std::fmt::Debug for EndpointCore {
@@ -236,8 +259,11 @@ impl EndpointCore {
             retx_scratch: Vec::new(),
             fail_scratch: Vec::new(),
             stats: EndpointStats::default(),
-            telemetry: Telemetry::new(id.0),
+            telemetry: Telemetry::with_trace_capacity(id.0, config.trace_capacity),
             handler_probe: 0,
+            trace_counter: 0,
+            active_trace: None,
+            traced_slots: vec![None; config.window],
             config,
         }
     }
@@ -348,7 +374,27 @@ impl EndpointCore {
         }
         // Fairness: deferred handler sends go out before fresh traffic.
         self.flush_deferred();
-        self.queue_data_frame(dst, handler, payload)
+        let trace = self.next_trace();
+        self.queue_data_frame(dst, handler, payload, trace)
+    }
+
+    /// The trace context the next fresh send carries: a delivery in
+    /// progress propagates its trace to handler-issued sends (causal
+    /// chain, one hop deeper); otherwise 1 in `trace_one_in` sends mints a
+    /// new trace id. Everything else sends the all-zero context.
+    fn next_trace(&mut self) -> TraceCtx {
+        if !fm_telemetry::ENABLED || self.config.trace_one_in == 0 {
+            return TraceCtx::default();
+        }
+        if let Some(parent) = self.active_trace {
+            return parent.next_hop();
+        }
+        let n = self.trace_counter;
+        self.trace_counter = n.wrapping_add(1);
+        if !n.is_multiple_of(self.config.trace_one_in) {
+            return TraceCtx::default();
+        }
+        TraceCtx::sampled(derive_trace_id(self.id.0, n), 0)
     }
 
     /// Reserve a window slot, assign the next per-destination sequence
@@ -362,6 +408,7 @@ impl EndpointCore {
         dst: NodeId,
         handler: HandlerId,
         payload: Bytes,
+        trace: TraceCtx,
     ) -> Result<(), SendError> {
         if self.is_dead(dst) {
             return Err(SendError::PeerUnreachable(dst));
@@ -373,17 +420,35 @@ impl EndpointCore {
         let seq = self.alloc_seq(dst);
         let mut frame = WireFrame::data(self.id, dst, handler, slot, seq, payload);
         frame.slot_gen = self.sender.gen(slot);
-        // The stored copy carries no piggybacked acks: were it ever
-        // retransmitted, replaying stale ack words would be wrong. Fresh
-        // acks are attached at each (re)transmission instead.
+        // The trace context is stamped *before* the retransmission copy is
+        // stored so a retried frame stays in its trace. The stored copy
+        // carries no piggybacked acks: were it ever retransmitted,
+        // replaying stale ack words would be wrong. Fresh acks are attached
+        // at each (re)transmission instead.
+        frame.trace = trace;
         self.sender.store(slot, frame.clone());
         let gen = frame.slot_gen;
         frame.piggy = self.acks.take_piggy(dst);
         self.outgoing.push_back(frame);
+        // Remember (or clear, on slot reuse) which trace owns this slot so
+        // the eventual ack can be attributed to it.
+        if let Some(entry) = self.traced_slots.get_mut(slot as usize) {
+            *entry = trace.sampled.then_some(trace);
+        }
         self.stats.sent += 1;
         self.telemetry.incr(Counter::Sends);
         self.telemetry
             .trace(self.now, EventKind::Send { dst: dst.0, slot, seq });
+        if trace.sampled {
+            self.telemetry.trace(
+                self.now,
+                EventKind::SpanSend {
+                    trace: trace.id,
+                    hop: trace.hop,
+                    dst: dst.0,
+                },
+            );
+        }
         if gen & 0x3F == 0 && gen != 0 {
             // The slot's 6-bit generation *tag* wrapped — the one reuse
             // moment an ABA-style diagnosis wants on the trace. (Tracing
@@ -454,10 +519,36 @@ impl EndpointCore {
     /// Process one frame that arrived from the network.
     pub fn on_wire(&mut self, frame: WireFrame) {
         debug_assert_eq!(frame.dst, self.id, "transport misrouted a frame");
+        // Wire-ingress span events are stamped with the tick of the
+        // `extract` that will process the arrival (`now` increments at the
+        // top of extract, but transports pump the wire just before calling
+        // it). Stamping at `now` instead would label every receive one
+        // tick *before* the send that caused it whenever the crossing
+        // completes within one service round — a systematic skew that
+        // makes the merged timeline's happens-before constraints
+        // cyclically infeasible on ring topologies.
+        let arrival = self.now + 1;
         // Piggybacked acks count regardless of what happens to the frame.
         for &word in frame.piggy.as_slice() {
             if let Some(rtt) = self.sender.on_ack(word, self.now) {
                 self.telemetry.record(Metric::AckRttTicks, rtt);
+                // First valid ack for a traced slot closes that trace's
+                // send→ack round trip (clocksync's t3).
+                let (slot, _) = ack_word_parts(word);
+                if let Some(t) = self
+                    .traced_slots
+                    .get_mut(slot as usize)
+                    .and_then(Option::take)
+                {
+                    self.telemetry.trace(
+                        arrival,
+                        EventKind::SpanAckIn {
+                            trace: t.id,
+                            hop: t.hop,
+                            peer: frame.src.0,
+                        },
+                    );
+                }
             }
             self.stats.acks_received += 1;
         }
@@ -498,6 +589,15 @@ impl EndpointCore {
         let slot = frame.slot;
         let gen = frame.slot_gen;
         let seq = frame.seq;
+        // Span events fire only on *acceptance* (never for duplicates the
+        // sequence window suppresses), so every traced `(trace, hop)` wire
+        // crossing yields exactly one SpanWireIn even under loss-driven
+        // retransmission — the invariant the merged-timeline flow pairing
+        // relies on.
+        let trace = frame.trace;
+        // See on_wire: ingress spans carry the tick of the extract that
+        // services them.
+        let arrival = self.now + 1;
         match self.window_mut(src).classify(seq) {
             SeqClass::Duplicate => {
                 self.stats.duplicates += 1;
@@ -506,7 +606,26 @@ impl EndpointCore {
             }
             SeqClass::InOrder => match self.recv_ring.push(frame) {
                 Ok(()) => {
-                    self.accept_ack(src, slot, gen);
+                    if trace.sampled {
+                        self.telemetry.trace(
+                            arrival,
+                            EventKind::SpanWireIn {
+                                trace: trace.id,
+                                hop: trace.hop,
+                                src: src.0,
+                            },
+                        );
+                    }
+                    if self.accept_ack(src, slot, gen) && trace.sampled {
+                        self.telemetry.trace(
+                            arrival,
+                            EventKind::SpanAckOut {
+                                trace: trace.id,
+                                hop: trace.hop,
+                                dst: src.0,
+                            },
+                        );
+                    }
                     // Split borrow: classify() above guarantees the window
                     // exists at src.index().
                     let Self {
@@ -532,7 +651,34 @@ impl EndpointCore {
                 // sender will never resend, so the ack must only go out
                 // once the frame is actually retained.
                 Ok(()) => {
-                    self.accept_ack(src, slot, gen);
+                    if trace.sampled {
+                        self.telemetry.trace(
+                            arrival,
+                            EventKind::SpanWireIn {
+                                trace: trace.id,
+                                hop: trace.hop,
+                                src: src.0,
+                            },
+                        );
+                        self.telemetry.trace(
+                            arrival,
+                            EventKind::SpanPark {
+                                trace: trace.id,
+                                hop: trace.hop,
+                                src: src.0,
+                            },
+                        );
+                    }
+                    if self.accept_ack(src, slot, gen) && trace.sampled {
+                        self.telemetry.trace(
+                            arrival,
+                            EventKind::SpanAckOut {
+                                trace: trace.id,
+                                hop: trace.hop,
+                                dst: src.0,
+                            },
+                        );
+                    }
                 }
                 Err((_, frame)) => {
                     // classify() filters duplicates and out-of-window seqs,
@@ -637,6 +783,21 @@ impl EndpointCore {
     fn deliver(&mut self, frame: WireFrame) -> bool {
         match self.registry.take(frame.handler) {
             Some(mut h) => {
+                let trace = frame.trace;
+                if trace.sampled {
+                    self.telemetry.trace(
+                        self.now,
+                        EventKind::SpanHandlerStart {
+                            trace: trace.id,
+                            hop: trace.hop,
+                            src: frame.src.0,
+                        },
+                    );
+                    // Propagate the trace to handler-issued sends (set
+                    // through the flush below, so causally-dependent
+                    // frames leave one hop deeper in the same trace).
+                    self.active_trace = Some(trace);
+                }
                 // Time the handler only when telemetry is compiled in, and
                 // then only 1 delivery in 8: two clock reads per delivery
                 // are the single largest instrumentation cost on the clean
@@ -664,14 +825,25 @@ impl EndpointCore {
                     self.outbox.swap_queued(&mut queued);
                     queued.clear();
                     self.outbox_scratch = queued;
+                    self.active_trace = None;
                     return false;
                 }
                 self.registry.put_back(frame.handler, h);
                 self.stats.delivered += 1;
+                if trace.sampled {
+                    self.telemetry.trace(
+                        self.now,
+                        EventKind::SpanHandlerEnd {
+                            trace: trace.id,
+                            hop: trace.hop,
+                        },
+                    );
+                }
                 // Flush handler sends immediately so causally-related
                 // messages leave in issue order when the window allows. The
                 // batch moves through a persistent scratch Vec (swap, not
-                // collect) so delivery stays allocation-free.
+                // collect) so delivery stays allocation-free. active_trace
+                // is still set here: these sends inherit the trace.
                 let mut queued = std::mem::take(&mut self.outbox_scratch);
                 self.outbox.swap_queued(&mut queued);
                 for (dst, handler, payload) in queued.drain(..) {
@@ -681,6 +853,7 @@ impl EndpointCore {
                     }
                 }
                 self.outbox_scratch = queued;
+                self.active_trace = None;
                 true
             }
             None => {
@@ -723,6 +896,16 @@ impl EndpointCore {
                     timer: true,
                 },
             );
+            if frame.trace.sampled {
+                self.telemetry.trace(
+                    self.now,
+                    EventKind::SpanRetransmit {
+                        trace: frame.trace.id,
+                        hop: frame.trace.hop,
+                        peer: frame.dst.0,
+                    },
+                );
+            }
             self.outgoing.push_back(frame);
         }
         self.retx_scratch = retx;
@@ -784,6 +967,16 @@ impl EndpointCore {
                     timer: false,
                 },
             );
+            if frame.trace.sampled {
+                self.telemetry.trace(
+                    self.now,
+                    EventKind::SpanRetransmit {
+                        trace: frame.trace.id,
+                        hop: frame.trace.hop,
+                        peer: frame.dst.0,
+                    },
+                );
+            }
             self.outgoing.push_back(frame);
         }
     }
@@ -799,7 +992,10 @@ impl EndpointCore {
                 self.deferred.push_front((dst, handler, payload));
                 break;
             }
-            let queued = self.queue_data_frame(dst, handler, payload);
+            // Deferred sends lost their causal context when they were
+            // parked (only (dst, handler, payload) is retained), so they
+            // re-enter the wire untraced rather than mislabeled.
+            let queued = self.queue_data_frame(dst, handler, payload, TraceCtx::default());
             debug_assert!(queued.is_ok(), "can_send checked above");
         }
     }
@@ -843,6 +1039,19 @@ impl EndpointCore {
             && self.acks.pending_total() == 0
             && self.recv_buffered() == 0
     }
+}
+
+/// Mint a trace id from (node, fresh-send ordinal): a splitmix64 round
+/// xor-folded to 32 bits. Deterministic per endpoint run, well-mixed
+/// across the cluster so concurrently-minted ids effectively never
+/// collide within one bounded trace ring's lifetime.
+fn derive_trace_id(node: u16, n: u32) -> u32 {
+    let mut x = ((node as u64) << 32) | n as u64;
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x as u32) ^ ((x >> 32) as u32)
 }
 
 #[cfg(test)]
@@ -1096,6 +1305,103 @@ mod tests {
         );
         a.on_wire(f);
         assert!(a.stats().acks_received >= 1);
+    }
+
+    #[test]
+    fn trace_context_sampling_and_inheritance() {
+        // trace_one_in = 1: every fresh send is sampled (when telemetry is
+        // compiled in). A handler-issued reply must inherit the trace id
+        // one hop deeper; with telemetry-off the context must round-trip
+        // as all zeroes regardless of the sampling config.
+        let cfg = EndpointConfig {
+            trace_one_in: 1,
+            ..Default::default()
+        };
+        let mut a = EndpointCore::new(NodeId(0), cfg);
+        let mut b = EndpointCore::new(NodeId(1), cfg);
+        let reply_h = a.register_handler(Box::new(|_, _, _| {}));
+        let ping_h = b.register_handler(Box::new(move |out, src, _| {
+            out.send(src, reply_h, &b"pong"[..]);
+        }));
+        a.try_send(NodeId(1), ping_h, &b"ping"[..]).unwrap();
+        let ping = a.pop_outgoing().expect("ping queued");
+        if fm_telemetry::ENABLED {
+            assert!(ping.trace.sampled, "1-in-1 sampling must trace");
+            assert_eq!(ping.trace.hop, 0);
+        } else {
+            assert_eq!(ping.trace, TraceCtx::default());
+        }
+        let trace_id = ping.trace.id;
+        b.on_wire(ping);
+        assert_eq!(b.extract(usize::MAX), 1);
+        let pong = b.pop_outgoing().expect("handler reply queued");
+        assert_eq!(pong.kind, FrameKind::Data);
+        if fm_telemetry::ENABLED {
+            assert!(pong.trace.sampled, "reply must inherit the trace");
+            assert_eq!(pong.trace.id, trace_id);
+            assert_eq!(pong.trace.hop, 1, "reply is one causal hop deeper");
+        } else {
+            assert_eq!(pong.trace, TraceCtx::default());
+        }
+        // A fresh send after delivery must NOT inherit the finished trace.
+        b.try_send(NodeId(0), reply_h, &b"fresh"[..]).unwrap();
+        let fresh = b.pop_outgoing().unwrap();
+        if fm_telemetry::ENABLED {
+            assert!(fresh.trace.sampled, "1-in-1 samples fresh sends too");
+            assert_ne!(fresh.trace.id, trace_id, "fresh send mints its own id");
+            assert_eq!(fresh.trace.hop, 0);
+        }
+    }
+
+    #[test]
+    fn traced_roundtrip_records_span_events() {
+        let cfg = EndpointConfig {
+            trace_one_in: 1,
+            ..Default::default()
+        };
+        let mut a = EndpointCore::new(NodeId(0), cfg);
+        let mut b = EndpointCore::new(NodeId(1), cfg);
+        let hid = b.register_handler(Box::new(|_, _, _| {}));
+        a.try_send(NodeId(1), hid, &b"x"[..]).unwrap();
+        pump(&mut a, &mut b);
+        b.extract(usize::MAX);
+        pump(&mut a, &mut b);
+        assert_eq!(a.outstanding(), 0);
+        if !fm_telemetry::ENABLED {
+            assert!(a.telemetry().events().is_empty());
+            return;
+        }
+        let a_kinds: Vec<&str> = a.telemetry().events().iter().map(|e| e.kind.name()).collect();
+        let b_kinds: Vec<&str> = b.telemetry().events().iter().map(|e| e.kind.name()).collect();
+        assert!(a_kinds.contains(&"span_send"), "{a_kinds:?}");
+        assert!(a_kinds.contains(&"span_ack_in"), "{a_kinds:?}");
+        assert!(b_kinds.contains(&"span_wire_in"), "{b_kinds:?}");
+        assert!(b_kinds.contains(&"span_ack_out"), "{b_kinds:?}");
+        assert!(b_kinds.contains(&"span_handler_start"), "{b_kinds:?}");
+        assert!(b_kinds.contains(&"span_handler_end"), "{b_kinds:?}");
+        // All spans on both sides agree on the trace id.
+        let ids: std::collections::HashSet<u32> = a
+            .telemetry()
+            .events()
+            .iter()
+            .chain(b.telemetry().events().iter())
+            .filter_map(|e| e.kind.span().map(|(id, _)| id))
+            .collect();
+        assert_eq!(ids.len(), 1, "one message, one trace id");
+    }
+
+    #[test]
+    fn trace_sampling_disabled_sends_zero_context() {
+        let cfg = EndpointConfig {
+            trace_one_in: 0,
+            ..Default::default()
+        };
+        let mut a = EndpointCore::new(NodeId(0), cfg);
+        a.try_send(NodeId(1), HandlerId(1), &b"x"[..]).unwrap();
+        let f = a.pop_outgoing().unwrap();
+        assert_eq!(f.trace, TraceCtx::default());
+        let reencoded = WireFrame::decode(&f.encode()).unwrap();
+        assert_eq!(reencoded.trace, TraceCtx::default(), "zeroes round-trip");
     }
 
     #[test]

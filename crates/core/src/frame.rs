@@ -2,34 +2,52 @@
 //!
 //! One frame is one Myrinet packet. FM 1.0 chose a 128-byte frame payload
 //! (paper Section 5: 80–90% of achievable bandwidth with low latency, and a
-//! good fit for IP traffic); the header adds a fixed 24 bytes that count
+//! good fit for IP traffic); the header adds a fixed 32 bytes that count
 //! toward wire time but not payload ("message length refers to the payload",
 //! Section 4.1).
 //!
-//! Layout (little-endian):
+//! Current (v1) layout, little-endian:
 //!
 //! ```text
 //! offset  size  field
-//!      0     1  kind            (0 = Data, 1 = Return, 2 = Ack)
-//!      1     1  payload length  (0..=128)
-//!      2     2  src node id
-//!      4     2  dst node id
-//!      6     2  handler id
-//!      8     2  sender slot id  (reject-queue reservation index)
-//!     10     1  piggyback count
-//!     11     1  slot generation tag (incremented per reuse of the slot;
+//!      0     1  version marker  (0xF0 | version; v1 frames are 0xF1)
+//!      1     1  kind            (0 = Data, 1 = Return, 2 = Ack)
+//!      2     1  payload length  (0..=128)
+//!      3     1  flags           (bit 0: trace context sampled)
+//!      4     2  src node id
+//!      6     2  dst node id
+//!      8     2  handler id
+//!     10     2  sender slot id  (reject-queue reservation index)
+//!     12     1  piggyback count
+//!     13     1  slot generation tag (incremented per reuse of the slot;
 //!               echoed back in ack words so a stale ack cannot release a
 //!               recycled slot — see `crate::flow::ack_word`)
-//!     12     4  sender sequence number (per-destination, drives the
+//!     14     2  trace hop stamp (causal depth of this send in its trace)
+//!     16     4  sender sequence number (per-destination, drives the
 //!               receiver's duplicate-suppression window)
-//!     16     8  piggybacked ack words (4 x u16, unused filled with 0)
-//!     24     N  payload
-//!   24+N     4  CRC32 (IEEE) over header + payload, little-endian
+//!     20     4  trace id (cluster-wide causal trace the frame belongs to;
+//!               0 and flags bit 0 clear when the frame is unsampled)
+//!     24     8  piggybacked ack words (4 x u16, unused filled with 0)
+//!     32     N  payload
+//!   32+N     4  CRC32 (IEEE) over header + payload, little-endian
 //! ```
+//!
+//! The legacy (v0) layout had a 24-byte header with no version, flags or
+//! trace fields: byte 0 was the `kind` byte directly. Because a legal kind
+//! is 0..=2 and every versioned frame starts with `0xF0 | version`, the
+//! first byte disambiguates the two layouts and [`WireFrame::decode_slice`]
+//! accepts both — old-format frames decode cleanly with an empty
+//! [`TraceCtx`]. Encoding always emits v1.
 //!
 //! Acknowledgements piggyback on data frames (up to [`PIGGY_MAX`] ack
 //! words, see [`crate::flow::ack_word`]); standalone `Ack` frames carry
 //! their words in the same piggyback area and have no payload.
+//!
+//! The trace context rides the same way the `slot_gen` ack tags do: a few
+//! fixed header bytes, zero extra packets. A sampled frame carries a 32-bit
+//! trace id and a 16-bit hop stamp; endpoints record span events against
+//! the id so `fm_telemetry::merge` can stitch one message's life across
+//! endpoints (see DESIGN.md, "Beyond the paper: cluster-wide tracing").
 //!
 //! The CRC trailer is this codebase's first departure from the paper: real
 //! Myrinet delegated integrity to link-level hardware CRC, so FM 1.0 never
@@ -39,7 +57,9 @@
 //! payload + trailer): a bit flip in the length field then always surfaces
 //! as a structural error rather than silently moving where the CRC is read,
 //! which is what makes single-bit corruption provably detectable (see the
-//! property tests in `fm-core/tests/reliability_props.rs`).
+//! property tests in `fm-core/tests/reliability_props.rs`). The version
+//! marker is covered by the CRC too, so a flip that turns a v1 frame into
+//! an apparently-legacy one still fails the checksum.
 
 use bytes::Bytes;
 use fm_myrinet::NodeId;
@@ -50,8 +70,23 @@ use crate::handler::HandlerId;
 /// Maximum FM frame payload: 32 words (paper Section 5).
 pub const FM_FRAME_PAYLOAD: usize = 128;
 
-/// Fixed wire header size.
-pub const FM_HEADER_BYTES: usize = 24;
+/// Fixed wire header size (current, v1).
+pub const FM_HEADER_BYTES: usize = 32;
+
+/// Legacy (v0, pre-trace-context) wire header size. Kept so the decoder
+/// and its compatibility tests can name the old layout.
+pub const FM_HEADER_BYTES_V0: usize = 24;
+
+/// Current wire format version, encoded as `0xF0 | FM_WIRE_VERSION` in
+/// byte 0 of every frame.
+pub const FM_WIRE_VERSION: u8 = 1;
+
+/// High-nibble marker distinguishing versioned frames from legacy ones
+/// (whose first byte is a kind in 0..=2).
+const VERSION_MARKER: u8 = 0xF0;
+
+/// Flags byte, bit 0: the frame carries a sampled trace context.
+const FLAG_TRACED: u8 = 0x01;
 
 /// CRC32 trailer appended after the payload.
 pub const FM_CRC_BYTES: usize = 4;
@@ -103,11 +138,52 @@ pub enum FrameKind {
     Ack = 2,
 }
 
+/// Compact causal trace context carried in the frame header.
+///
+/// A sampled send mints an id and hop 0; handler-issued sends triggered by
+/// a traced delivery inherit the id with `hop + 1`, so one id names the
+/// whole causal chain and `(id, hop)` names one wire crossing within it.
+/// The all-zero default (`sampled == false`) is what unsampled frames and
+/// decoded legacy frames carry, and is the only value that ever appears
+/// when the `telemetry-off` feature is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCtx {
+    /// Whether this frame belongs to a sampled trace.
+    pub sampled: bool,
+    /// Cluster-wide trace identifier (meaningful only when `sampled`).
+    pub id: u32,
+    /// Causal hop depth of this send within the trace.
+    pub hop: u16,
+}
+
+impl TraceCtx {
+    /// A sampled context at the given hop depth.
+    pub fn sampled(id: u32, hop: u16) -> Self {
+        TraceCtx {
+            sampled: true,
+            id,
+            hop,
+        }
+    }
+
+    /// The context a causally-dependent send (issued from a handler that
+    /// is processing this context) should carry: same id, one hop deeper.
+    pub fn next_hop(self) -> Self {
+        TraceCtx {
+            sampled: self.sampled,
+            id: self.id,
+            hop: self.hop.wrapping_add(1),
+        }
+    }
+}
+
 /// Errors from [`WireFrame::decode`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
     /// Buffer shorter than the fixed header.
     Truncated { have: usize },
+    /// Byte 0 carries the version marker but an unsupported version.
+    BadVersion(u8),
     /// Unknown `kind` byte.
     BadKind(u8),
     /// Length field exceeds [`FM_FRAME_PAYLOAD`].
@@ -130,6 +206,7 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::Truncated { have } => write!(f, "frame truncated: {have} bytes"),
+            CodecError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
             CodecError::BadKind(k) => write!(f, "unknown frame kind {k}"),
             CodecError::BadLength(l) => write!(f, "payload length {l} > 128"),
             CodecError::BadPiggyCount(c) => write!(f, "piggyback count {c} > 4"),
@@ -167,6 +244,10 @@ pub struct WireFrame {
     /// Per-(src, dst) sequence number. The reliability layer uses it for
     /// duplicate suppression and in-order delivery at the receiver.
     pub seq: u32,
+    /// Causal trace context (all-zero when the send was not sampled).
+    /// Survives bounce and retransmission, so a retried frame stays in its
+    /// trace.
+    pub trace: TraceCtx,
     /// Piggybacked acknowledgement slots (acks for frames *we* received
     /// from `dst`).
     pub piggy: PiggyAcks,
@@ -239,6 +320,7 @@ impl WireFrame {
             slot,
             slot_gen: 0,
             seq,
+            trace: TraceCtx::default(),
             piggy: PiggyAcks::new(),
             payload,
         }
@@ -255,13 +337,15 @@ impl WireFrame {
             slot: 0,
             slot_gen: 0,
             seq: 0,
+            trace: TraceCtx::default(),
             piggy: PiggyAcks::from_slice(slots),
             payload: Bytes::new(),
         }
     }
 
     /// Convert a received data frame into its bounced (return-to-sender)
-    /// form: same payload and slot, direction reversed.
+    /// form: same payload and slot, direction reversed. The trace context
+    /// rides along so the eventual retransmission stays in its trace.
     pub fn into_return(mut self) -> Self {
         debug_assert_eq!(self.kind, FrameKind::Data);
         self.kind = FrameKind::Return;
@@ -286,23 +370,28 @@ impl WireFrame {
 
     /// Encode directly into `buf` (at least [`Self::wire_bytes`] long,
     /// e.g. a fabric ring slot), returning the encoded length. Performs no
-    /// allocation — this is the short-message fast path.
+    /// allocation — this is the short-message fast path. Always emits the
+    /// current (v1) layout.
     pub fn encode_into(&self, buf: &mut [u8]) -> usize {
         let n = self.wire_bytes();
         assert!(buf.len() >= n, "encode buffer too small: {} < {n}", buf.len());
         let body = n - FM_CRC_BYTES;
-        buf[0] = self.kind as u8;
-        buf[1] = self.payload.len() as u8;
-        buf[2..4].copy_from_slice(&self.src.0.to_le_bytes());
-        buf[4..6].copy_from_slice(&self.dst.0.to_le_bytes());
-        buf[6..8].copy_from_slice(&self.handler.0.to_le_bytes());
-        buf[8..10].copy_from_slice(&self.slot.to_le_bytes());
-        buf[10] = self.piggy.len() as u8;
-        buf[11] = self.slot_gen;
-        buf[12..16].copy_from_slice(&self.seq.to_le_bytes());
+        buf[0] = VERSION_MARKER | FM_WIRE_VERSION;
+        buf[1] = self.kind as u8;
+        buf[2] = self.payload.len() as u8;
+        buf[3] = if self.trace.sampled { FLAG_TRACED } else { 0 };
+        buf[4..6].copy_from_slice(&self.src.0.to_le_bytes());
+        buf[6..8].copy_from_slice(&self.dst.0.to_le_bytes());
+        buf[8..10].copy_from_slice(&self.handler.0.to_le_bytes());
+        buf[10..12].copy_from_slice(&self.slot.to_le_bytes());
+        buf[12] = self.piggy.len() as u8;
+        buf[13] = self.slot_gen;
+        buf[14..16].copy_from_slice(&self.trace.hop.to_le_bytes());
+        buf[16..20].copy_from_slice(&self.seq.to_le_bytes());
+        buf[20..24].copy_from_slice(&self.trace.id.to_le_bytes());
         for i in 0..PIGGY_MAX {
             let s = *self.piggy.slots.get(i).unwrap_or(&0);
-            buf[16 + 2 * i..18 + 2 * i].copy_from_slice(&s.to_le_bytes());
+            buf[24 + 2 * i..26 + 2 * i].copy_from_slice(&s.to_le_bytes());
         }
         buf[FM_HEADER_BYTES..body].copy_from_slice(&self.payload);
         let crc = crc32(&buf[..body]);
@@ -319,6 +408,32 @@ impl WireFrame {
         Bytes::copy_from_slice(&buf[..n])
     }
 
+    /// Encode in the legacy (v0, 24-byte header) layout: no version byte,
+    /// no flags, no trace context. Kept for decode-compatibility tests and
+    /// for talking to pre-v1 peers; the trace context, if any, is dropped.
+    pub fn encode_v0(&self) -> Bytes {
+        let n = FM_HEADER_BYTES_V0 + self.payload.len() + FM_CRC_BYTES;
+        let body = n - FM_CRC_BYTES;
+        let mut buf = [0u8; FM_FRAME_MAX];
+        buf[0] = self.kind as u8;
+        buf[1] = self.payload.len() as u8;
+        buf[2..4].copy_from_slice(&self.src.0.to_le_bytes());
+        buf[4..6].copy_from_slice(&self.dst.0.to_le_bytes());
+        buf[6..8].copy_from_slice(&self.handler.0.to_le_bytes());
+        buf[8..10].copy_from_slice(&self.slot.to_le_bytes());
+        buf[10] = self.piggy.len() as u8;
+        buf[11] = self.slot_gen;
+        buf[12..16].copy_from_slice(&self.seq.to_le_bytes());
+        for i in 0..PIGGY_MAX {
+            let s = *self.piggy.slots.get(i).unwrap_or(&0);
+            buf[16 + 2 * i..18 + 2 * i].copy_from_slice(&s.to_le_bytes());
+        }
+        buf[FM_HEADER_BYTES_V0..body].copy_from_slice(&self.payload);
+        let crc = crc32(&buf[..body]);
+        buf[body..n].copy_from_slice(&crc.to_le_bytes());
+        Bytes::copy_from_slice(&buf[..n])
+    }
+
     /// Decode from wire bytes.
     pub fn decode(buf: &Bytes) -> Result<Self, CodecError> {
         Self::decode_slice(&buf[..])
@@ -326,9 +441,88 @@ impl WireFrame {
 
     /// Decode from a raw byte slice (e.g. a fabric ring slot), copying the
     /// payload out into an inline `Bytes`. Performs no allocation for any
-    /// legal frame.
+    /// legal frame. Accepts both the current (v1) layout and the legacy
+    /// (v0) layout; legacy frames decode with an empty [`TraceCtx`].
     pub fn decode_slice(buf: &[u8]) -> Result<Self, CodecError> {
+        if buf.is_empty() {
+            return Err(CodecError::Truncated { have: 0 });
+        }
+        if buf[0] & VERSION_MARKER == VERSION_MARKER {
+            let version = buf[0] & !VERSION_MARKER;
+            if version != FM_WIRE_VERSION {
+                return Err(CodecError::BadVersion(version));
+            }
+            Self::decode_v1(buf)
+        } else {
+            Self::decode_v0(buf)
+        }
+    }
+
+    fn decode_v1(buf: &[u8]) -> Result<Self, CodecError> {
         if buf.len() < FM_HEADER_BYTES {
+            return Err(CodecError::Truncated { have: buf.len() });
+        }
+        let kind = match buf[1] {
+            0 => FrameKind::Data,
+            1 => FrameKind::Return,
+            2 => FrameKind::Ack,
+            k => return Err(CodecError::BadKind(k)),
+        };
+        let len = buf[2];
+        if len as usize > FM_FRAME_PAYLOAD {
+            return Err(CodecError::BadLength(len));
+        }
+        let rd16 = |o: usize| u16::from_le_bytes([buf[o], buf[o + 1]]);
+        let rd32 = |o: usize| u32::from_le_bytes([buf[o], buf[o + 1], buf[o + 2], buf[o + 3]]);
+        let piggy_count = buf[12];
+        if piggy_count as usize > PIGGY_MAX {
+            return Err(CodecError::BadPiggyCount(piggy_count));
+        }
+        let body = FM_HEADER_BYTES + len as usize;
+        let want = body + FM_CRC_BYTES;
+        if buf.len() < want {
+            return Err(CodecError::PayloadTruncated {
+                want,
+                have: buf.len(),
+            });
+        }
+        if buf.len() > want {
+            return Err(CodecError::LengthMismatch {
+                want,
+                have: buf.len(),
+            });
+        }
+        let stored = rd32(body);
+        let computed = crc32(&buf[..body]);
+        if computed != stored {
+            return Err(CodecError::BadCrc { computed, stored });
+        }
+        let mut piggy = PiggyAcks::new();
+        for i in 0..piggy_count as usize {
+            piggy.push(rd16(24 + 2 * i));
+        }
+        let trace = if buf[3] & FLAG_TRACED != 0 {
+            TraceCtx::sampled(rd32(20), rd16(14))
+        } else {
+            TraceCtx::default()
+        };
+        Ok(WireFrame {
+            kind,
+            src: NodeId(rd16(4)),
+            dst: NodeId(rd16(6)),
+            handler: HandlerId(rd16(8)),
+            slot: rd16(10),
+            slot_gen: buf[13],
+            seq: rd32(16),
+            trace,
+            piggy,
+            payload: Bytes::copy_from_slice(&buf[FM_HEADER_BYTES..body]),
+        })
+    }
+
+    /// The pre-v1 layout: 24-byte header, kind in byte 0, no trace fields.
+    fn decode_v0(buf: &[u8]) -> Result<Self, CodecError> {
+        if buf.len() < FM_HEADER_BYTES_V0 {
             return Err(CodecError::Truncated { have: buf.len() });
         }
         let kind = match buf[0] {
@@ -346,7 +540,7 @@ impl WireFrame {
         if piggy_count as usize > PIGGY_MAX {
             return Err(CodecError::BadPiggyCount(piggy_count));
         }
-        let body = FM_HEADER_BYTES + len as usize;
+        let body = FM_HEADER_BYTES_V0 + len as usize;
         let want = body + FM_CRC_BYTES;
         if buf.len() < want {
             return Err(CodecError::PayloadTruncated {
@@ -377,8 +571,9 @@ impl WireFrame {
             slot: rd16(8),
             slot_gen: buf[11],
             seq: u32::from_le_bytes([buf[12], buf[13], buf[14], buf[15]]),
+            trace: TraceCtx::default(),
             piggy,
-            payload: Bytes::copy_from_slice(&buf[FM_HEADER_BYTES..body]),
+            payload: Bytes::copy_from_slice(&buf[FM_HEADER_BYTES_V0..body]),
         })
     }
 }
@@ -440,6 +635,70 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_trace_context() {
+        let mut f = sample();
+        f.trace = TraceCtx::sampled(0xCAFE_F00D, 513);
+        let d = WireFrame::decode(&f.encode()).unwrap();
+        assert_eq!(d, f);
+        assert!(d.trace.sampled);
+        assert_eq!(d.trace.id, 0xCAFE_F00D);
+        assert_eq!(d.trace.hop, 513);
+    }
+
+    #[test]
+    fn unsampled_trace_encodes_as_zeroes() {
+        let f = sample();
+        let enc = f.encode();
+        assert_eq!(enc[3], 0, "flags byte clear for unsampled frames");
+        assert_eq!(&enc[14..16], &[0, 0], "hop field zero");
+        assert_eq!(&enc[20..24], &[0, 0, 0, 0], "trace id field zero");
+        assert_eq!(WireFrame::decode(&enc).unwrap().trace, TraceCtx::default());
+    }
+
+    #[test]
+    fn decode_accepts_legacy_layout() {
+        // A legacy frame (no version byte, 24-byte header) must decode to
+        // the same logical frame with an empty trace context — and a
+        // traced frame round-tripped through the legacy encoding loses
+        // exactly its trace context and nothing else.
+        let mut f = sample();
+        f.slot_gen = 7;
+        f.trace = TraceCtx::sampled(0x1234_5678, 3);
+        let legacy = f.encode_v0();
+        assert_eq!(legacy.len(), FM_HEADER_BYTES_V0 + 8 + FM_CRC_BYTES);
+        assert_eq!(legacy[0], FrameKind::Data as u8, "legacy byte 0 is the kind");
+        let d = WireFrame::decode(&legacy).unwrap();
+        assert_eq!(d.trace, TraceCtx::default());
+        let mut expect = f.clone();
+        expect.trace = TraceCtx::default();
+        assert_eq!(d, expect);
+    }
+
+    #[test]
+    fn both_layouts_decode_side_by_side() {
+        for f in [
+            sample(),
+            WireFrame::ack(NodeId(1), NodeId(0), &[7, 8, 9]),
+            WireFrame::data(NodeId(0), NodeId(1), HandlerId(0), 0, 0, Bytes::new()),
+        ] {
+            let v1 = WireFrame::decode(&f.encode()).unwrap();
+            let v0 = WireFrame::decode(&f.encode_v0()).unwrap();
+            assert_eq!(v1, f);
+            assert_eq!(v0, f, "untraced frames are identical across layouts");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_version() {
+        let mut enc = sample().encode().to_vec();
+        enc[0] = VERSION_MARKER | 2;
+        assert!(matches!(
+            WireFrame::decode_slice(&enc),
+            Err(CodecError::BadVersion(2))
+        ));
+    }
+
+    #[test]
     #[should_panic(expected = "limited to")]
     fn oversized_payload_panics() {
         WireFrame::data(
@@ -459,19 +718,19 @@ mod tests {
             Err(CodecError::Truncated { have: 2 })
         ));
         let mut bad = sample().encode().to_vec();
-        bad[0] = 9;
+        bad[1] = 9;
         assert!(matches!(
             WireFrame::decode(&Bytes::from(bad)),
             Err(CodecError::BadKind(9))
         ));
         let mut bad = sample().encode().to_vec();
-        bad[1] = 200;
+        bad[2] = 200;
         assert!(matches!(
             WireFrame::decode(&Bytes::from(bad)),
             Err(CodecError::BadLength(200))
         ));
         let mut bad = sample().encode().to_vec();
-        bad[10] = 5;
+        bad[12] = 5;
         assert!(matches!(
             WireFrame::decode(&Bytes::from(bad)),
             Err(CodecError::BadPiggyCount(5))
@@ -510,7 +769,17 @@ mod tests {
         // A flip in the seq field (not covered by any structural check)
         // must still be caught by the CRC.
         let mut enc = sample().encode().to_vec();
-        enc[13] ^= 0x10;
+        enc[17] ^= 0x10;
+        assert!(WireFrame::decode_slice(&enc).is_err());
+    }
+
+    #[test]
+    fn corrupt_version_byte_detected() {
+        // A flip that clears the version marker makes the frame look
+        // legacy; the CRC (which covers byte 0) must still reject it, in
+        // whatever structural form the misparse surfaces.
+        let mut enc = sample().encode().to_vec();
+        enc[0] ^= 0xF0;
         assert!(WireFrame::decode_slice(&enc).is_err());
     }
 
@@ -523,18 +792,21 @@ mod tests {
 
     #[test]
     fn return_and_retransmit_are_inverses() {
-        let f = sample();
+        let mut f = sample();
+        f.trace = TraceCtx::sampled(99, 1);
         let bounced = f.clone().into_return();
         assert_eq!(bounced.kind, FrameKind::Return);
         assert_eq!(bounced.src, f.dst);
         assert_eq!(bounced.dst, f.src);
         assert_eq!(bounced.payload, f.payload);
         assert!(bounced.piggy.is_empty(), "bounce drops piggybacked acks");
+        assert_eq!(bounced.trace, f.trace, "bounce keeps the trace context");
         let retx = bounced.into_retransmit();
         assert_eq!(retx.kind, FrameKind::Data);
         assert_eq!(retx.src, f.src);
         assert_eq!(retx.dst, f.dst);
         assert_eq!(retx.slot, f.slot);
+        assert_eq!(retx.trace, f.trace, "retransmission stays in its trace");
     }
 
     #[test]
@@ -551,7 +823,7 @@ mod tests {
     #[test]
     fn wire_bytes_includes_header_and_crc() {
         let f = sample();
-        assert_eq!(f.wire_bytes(), 24 + 8 + 4);
+        assert_eq!(f.wire_bytes(), 32 + 8 + 4);
     }
 
     #[test]

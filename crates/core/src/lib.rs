@@ -74,8 +74,8 @@ pub use flow::{
     ack_word, ack_word_parts, gen_tag, RetransmitConfig, SeqBufferError, SeqClass, SeqWindow,
 };
 pub use frame::{
-    crc32, CodecError, FrameKind, WireFrame, FM_CRC_BYTES, FM_FRAME_MAX, FM_FRAME_PAYLOAD,
-    FM_HEADER_BYTES,
+    crc32, CodecError, FrameKind, TraceCtx, WireFrame, FM_CRC_BYTES, FM_FRAME_MAX,
+    FM_FRAME_PAYLOAD, FM_HEADER_BYTES, FM_HEADER_BYTES_V0, FM_WIRE_VERSION,
 };
 pub use handler::{Handler, HandlerId, HandlerRegistry, Outbox};
 pub use mem::{ClusterRunner, FabricKind, MemCluster, MemEndpoint, ShutdownError};

@@ -1,0 +1,370 @@
+//! Cluster-wide metrics aggregation and export.
+//!
+//! A [`MetricsAggregator`] holds a clone of every endpoint's [`Telemetry`]
+//! handle and, on each [`MetricsAggregator::tick`], scrapes their counter
+//! snapshots, computes per-counter *deltas* since the previous tick and
+//! appends them to a bounded time series (a ring of deltas — constant
+//! memory no matter how long the cluster runs). The current state exports
+//! as Prometheus text exposition ([`MetricsAggregator::prometheus`]) or as
+//! CSV rows through the shared `fm-metrics` csv module
+//! ([`MetricsAggregator::csv`]).
+//!
+//! The aggregator doubles as a **flight recorder**: when a tick observes a
+//! `DeadPeers` counter advance on any endpoint, it merges the last-N trace
+//! events of *all* endpoints into one clock-aligned timeline (see
+//! [`crate::merge`]) and retains the chrome-trace JSON as a post-mortem
+//! artifact — the cluster-wide picture of what led up to the death, taken
+//! at the moment it was declared.
+
+use crate::merge::{self, MergeReport};
+use crate::{Counter, Metric, Telemetry, TelemetrySnapshot};
+use std::collections::VecDeque;
+
+/// Per-endpoint counter deltas observed by one tick.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeDelta {
+    pub node: u16,
+    deltas: [u64; Counter::COUNT],
+}
+
+impl NodeDelta {
+    pub fn delta(&self, c: Counter) -> u64 {
+        self.deltas[c as usize]
+    }
+}
+
+/// One scrape: the tick's timestamp plus every endpoint's deltas.
+#[derive(Debug, Clone)]
+pub struct TickSample {
+    /// Caller-supplied scrape time (any monotonic unit).
+    pub at: u64,
+    pub nodes: Vec<NodeDelta>,
+}
+
+impl TickSample {
+    /// Sum of one counter's delta across all endpoints.
+    pub fn total(&self, c: Counter) -> u64 {
+        self.nodes.iter().map(|n| n.delta(c)).sum()
+    }
+}
+
+/// A post-mortem artifact captured when a tick saw a peer declared dead.
+#[derive(Debug, Clone)]
+pub struct FlightDump {
+    /// The tick timestamp that triggered the capture.
+    pub at: u64,
+    /// How many `DeadPeers` advances this tick observed.
+    pub dead_peer_delta: u64,
+    /// Merged events retained (after the last-N cut).
+    pub events: usize,
+    /// Cross-endpoint flow pairs inside the retained window.
+    pub flow_pairs: usize,
+    /// The merged timeline as a chrome-trace JSON document.
+    pub json: String,
+}
+
+/// Scrapes registered endpoints into a bounded delta time series with
+/// Prometheus / CSV export and a dead-peer flight recorder.
+pub struct MetricsAggregator {
+    handles: Vec<Telemetry>,
+    last: Vec<TelemetrySnapshot>,
+    history: VecDeque<TickSample>,
+    history_cap: usize,
+    flight_last_n: usize,
+    flights: Vec<FlightDump>,
+}
+
+/// Default bound on retained tick samples.
+pub const DEFAULT_HISTORY: usize = 256;
+/// Default last-N merged events a flight dump retains.
+pub const DEFAULT_FLIGHT_EVENTS: usize = 512;
+
+impl MetricsAggregator {
+    pub fn new() -> Self {
+        Self::with_bounds(DEFAULT_HISTORY, DEFAULT_FLIGHT_EVENTS)
+    }
+
+    /// `history` bounds the delta series; `flight_last_n` bounds how many
+    /// merged events a dead-peer dump retains.
+    pub fn with_bounds(history: usize, flight_last_n: usize) -> Self {
+        MetricsAggregator {
+            handles: Vec::new(),
+            last: Vec::new(),
+            history: VecDeque::new(),
+            history_cap: history.max(1),
+            flight_last_n: flight_last_n.max(1),
+            flights: Vec::new(),
+        }
+    }
+
+    /// Register an endpoint's telemetry handle (a cheap `Arc` clone). The
+    /// baseline for its first delta is its state *now*.
+    pub fn register(&mut self, handle: Telemetry) {
+        self.last.push(handle.snapshot());
+        self.handles.push(handle);
+    }
+
+    pub fn endpoints(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Scrape every endpoint: record counter deltas since the previous
+    /// tick into the bounded series, and capture a flight dump if any
+    /// endpoint declared a peer dead since last time.
+    pub fn tick(&mut self, at: u64) -> TickSample {
+        let mut nodes = Vec::with_capacity(self.handles.len());
+        let mut dead_delta = 0u64;
+        for (i, h) in self.handles.iter().enumerate() {
+            let snap = h.snapshot();
+            let prev = &self.last[i];
+            let deltas = std::array::from_fn(|j| {
+                let c = Counter::ALL[j];
+                snap.counter(c).saturating_sub(prev.counter(c))
+            });
+            let nd = NodeDelta {
+                node: snap.node,
+                deltas,
+            };
+            dead_delta += nd.delta(Counter::DeadPeers);
+            nodes.push(nd);
+            self.last[i] = snap;
+        }
+        let sample = TickSample { at, nodes };
+        if self.history.len() == self.history_cap {
+            self.history.pop_front();
+        }
+        self.history.push_back(sample.clone());
+        if dead_delta > 0 {
+            self.capture_flight(at, dead_delta);
+        }
+        sample
+    }
+
+    fn capture_flight(&mut self, at: u64, dead_peer_delta: u64) {
+        let per_node: Vec<_> = self.handles.iter().map(|h| h.events()).collect();
+        let mut report = merge::merge(&per_node);
+        if report.events.len() > self.flight_last_n {
+            let cut = report.events.len() - self.flight_last_n;
+            report.events.drain(..cut);
+        }
+        self.flights.push(FlightDump {
+            at,
+            dead_peer_delta,
+            events: report.events.len(),
+            flow_pairs: report.flow_pairs(),
+            json: report.chrome_trace(),
+        });
+    }
+
+    /// Retained tick samples, oldest first.
+    pub fn history(&self) -> impl Iterator<Item = &TickSample> {
+        self.history.iter()
+    }
+
+    /// Flight dumps captured so far (one per dead-peer-observing tick).
+    pub fn flights(&self) -> &[FlightDump] {
+        &self.flights
+    }
+
+    /// Merge every registered endpoint's current trace ring into one
+    /// aligned timeline (the on-demand, not-post-mortem view).
+    pub fn merged(&self) -> MergeReport {
+        let per_node: Vec<_> = self.handles.iter().map(|h| h.events()).collect();
+        merge::merge(&per_node)
+    }
+
+    /// Prometheus text exposition of every endpoint's current state:
+    /// `fm_<counter>_total{node="N"}` counters plus per-metric quantile
+    /// gauges and sample counts.
+    pub fn prometheus(&self) -> String {
+        let snaps: Vec<_> = self.handles.iter().map(|h| h.snapshot()).collect();
+        let mut out = String::new();
+        for c in Counter::ALL {
+            out.push_str(&format!(
+                "# HELP fm_{name}_total Total {name} across the run.\n# TYPE fm_{name}_total counter\n",
+                name = c.name()
+            ));
+            for s in &snaps {
+                out.push_str(&format!(
+                    "fm_{}_total{{node=\"{}\"}} {}\n",
+                    c.name(),
+                    s.node,
+                    s.counter(c)
+                ));
+            }
+        }
+        for m in Metric::ALL {
+            out.push_str(&format!(
+                "# HELP fm_{name} {name} distribution summary.\n# TYPE fm_{name} summary\n",
+                name = m.name()
+            ));
+            for s in &snaps {
+                let h = s.metric(m);
+                for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                    out.push_str(&format!(
+                        "fm_{}{{node=\"{}\",quantile=\"{}\"}} {}\n",
+                        m.name(),
+                        s.node,
+                        q,
+                        v
+                    ));
+                }
+                out.push_str(&format!(
+                    "fm_{}_count{{node=\"{}\"}} {}\n",
+                    m.name(),
+                    s.node,
+                    h.count
+                ));
+            }
+        }
+        out
+    }
+
+    /// Current per-endpoint state as CSV (one row per endpoint), rendered
+    /// by the shared `fm-metrics` csv module.
+    pub fn csv(&self) -> String {
+        let mut header: Vec<&str> = vec!["node"];
+        for c in Counter::ALL {
+            header.push(c.name());
+        }
+        let metric_cols: Vec<String> = Metric::ALL
+            .iter()
+            .flat_map(|m| {
+                ["count", "p50", "p99"]
+                    .iter()
+                    .map(move |s| format!("{}_{}", m.name(), s))
+            })
+            .collect();
+        for col in &metric_cols {
+            header.push(col);
+        }
+        let rows: Vec<Vec<String>> = self
+            .handles
+            .iter()
+            .map(|h| {
+                let s = h.snapshot();
+                let mut row = vec![s.node.to_string()];
+                for c in Counter::ALL {
+                    row.push(s.counter(c).to_string());
+                }
+                for m in Metric::ALL {
+                    let hs = s.metric(m);
+                    row.push(hs.count.to_string());
+                    row.push(hs.p50.to_string());
+                    row.push(hs.p99.to_string());
+                }
+                row
+            })
+            .collect();
+        fm_metrics::csv::to_string(&header, &rows)
+    }
+}
+
+impl Default for MetricsAggregator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventKind, ENABLED};
+
+    #[test]
+    fn tick_reports_deltas_not_totals() {
+        let t = Telemetry::new(0);
+        let mut agg = MetricsAggregator::new();
+        t.add(Counter::Sends, 5); // before register → baseline, not a delta
+        agg.register(t.clone());
+        t.add(Counter::Sends, 3);
+        let s1 = agg.tick(1);
+        t.add(Counter::Sends, 2);
+        let s2 = agg.tick(2);
+        if ENABLED {
+            assert_eq!(s1.total(Counter::Sends), 3);
+            assert_eq!(s2.total(Counter::Sends), 2);
+        } else {
+            assert_eq!(s1.total(Counter::Sends), 0);
+        }
+        assert_eq!(agg.history().count(), 2);
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let t = Telemetry::new(0);
+        let mut agg = MetricsAggregator::with_bounds(4, 16);
+        agg.register(t);
+        for i in 0..10 {
+            agg.tick(i);
+        }
+        assert_eq!(agg.history().count(), 4);
+        assert_eq!(agg.history().next().unwrap().at, 6, "oldest evicted");
+    }
+
+    #[test]
+    fn dead_peer_triggers_flight_dump() {
+        let a = Telemetry::new(0);
+        let b = Telemetry::new(1);
+        let mut agg = MetricsAggregator::with_bounds(8, 4);
+        agg.register(a.clone());
+        agg.register(b.clone());
+        for i in 0..10 {
+            a.trace(i, EventKind::SpanSend { trace: 9, hop: 0, dst: 1 });
+        }
+        b.trace(3, EventKind::SpanWireIn { trace: 9, hop: 0, src: 0 });
+        agg.tick(1);
+        assert!(agg.flights().is_empty(), "no dead peer yet");
+        a.incr(Counter::DeadPeers);
+        agg.tick(2);
+        if ENABLED {
+            assert_eq!(agg.flights().len(), 1);
+            let f = &agg.flights()[0];
+            assert_eq!(f.at, 2);
+            assert_eq!(f.dead_peer_delta, 1);
+            assert_eq!(f.events, 4, "last-N cut applied");
+            assert!(f.json.starts_with("{\"traceEvents\":["));
+        } else {
+            assert!(agg.flights().is_empty());
+        }
+        agg.tick(3);
+        assert_eq!(
+            agg.flights().len(),
+            usize::from(ENABLED),
+            "no new dump without a new death"
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let t = Telemetry::new(2);
+        t.add(Counter::Sends, 7);
+        t.record(Metric::AckRttTicks, 4);
+        let mut agg = MetricsAggregator::new();
+        agg.register(t);
+        let text = agg.prometheus();
+        assert!(text.contains("# TYPE fm_sends_total counter"));
+        if ENABLED {
+            assert!(text.contains("fm_sends_total{node=\"2\"} 7"));
+            assert!(text.contains("fm_ack_rtt_ticks{node=\"2\",quantile=\"0.5\"}"));
+            assert!(text.contains("fm_ack_rtt_ticks_count{node=\"2\"} 1"));
+        }
+        for c in Counter::ALL {
+            assert!(text.contains(&format!("fm_{}_total", c.name())));
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_endpoint() {
+        let mut agg = MetricsAggregator::new();
+        agg.register(Telemetry::new(0));
+        agg.register(Telemetry::new(1));
+        let csv = agg.csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 endpoints");
+        assert!(lines[0].starts_with("node,sends,"));
+        assert!(lines[0].contains("ack_rtt_ticks_p50"));
+        assert!(lines[1].starts_with("0,"));
+        assert!(lines[2].starts_with("1,"));
+    }
+}

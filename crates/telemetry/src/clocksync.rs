@@ -1,0 +1,458 @@
+//! Per-endpoint clock-offset estimation from traced message/ack pairs.
+//!
+//! Every endpoint stamps its trace events with its own virtual clock (one
+//! tick per `extract` call), and nothing synchronizes those clocks: node A
+//! may be on tick 9000 while node B is on tick 40. Merging rings into one
+//! cluster timeline therefore needs per-node offsets, and the traced
+//! message/ack quadruple gives them to us with the classic NTP midpoint
+//! method. For one traced `(trace, hop)` crossing from A to B:
+//!
+//! ```text
+//! t0 = A's clock at span_send        t1 = B's clock at span_wire_in
+//! t3 = A's clock at span_ack_in      t2 = B's clock at span_ack_out
+//!
+//! offset(B relative to A) = ((t1 - t0) + (t2 - t3)) / 2
+//! rtt                     = (t3 - t0) - (t2 - t1)
+//! ```
+//!
+//! The estimate's error is bounded by `rtt / 2` (it is exact when the two
+//! one-way delays are equal), so [`OffsetEstimator`] keeps the sample with
+//! the smallest RTT — the standard "minimum filter" that rejects
+//! queueing/retransmission noise. [`ClusterClock`] then chains pairwise
+//! estimates through a breadth-first walk so every node gets an offset
+//! relative to one reference (the lowest node id observed), even for node
+//! pairs that never exchanged a traced message directly.
+
+use crate::trace::{EventKind, TraceEvent};
+use std::collections::HashMap;
+
+/// The four clock readings of one traced send→ack round trip. `send` and
+/// `ack_in` are on the sending node's clock; `wire_in` and `ack_out` on
+/// the receiving node's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RttSample {
+    pub send: u64,
+    pub wire_in: u64,
+    pub ack_out: u64,
+    pub ack_in: u64,
+}
+
+impl RttSample {
+    /// True when the per-clock orderings hold (each node's own readings
+    /// are monotone). Cross-clock comparisons are meaningless before
+    /// alignment, so only same-clock pairs are checked.
+    pub fn plausible(&self) -> bool {
+        self.ack_in >= self.send && self.ack_out >= self.wire_in
+    }
+
+    /// Receiver-minus-sender clock offset, NTP midpoint method. Exact when
+    /// the request and reply delays are equal; off by at most
+    /// [`Self::rtt`]`/2` otherwise.
+    pub fn offset(&self) -> i64 {
+        let fwd = self.wire_in as i128 - self.send as i128;
+        let back = self.ack_out as i128 - self.ack_in as i128;
+        ((fwd + back) / 2) as i64
+    }
+
+    /// Round-trip time with the receiver's turnaround (wire-in → ack-out)
+    /// subtracted out: pure network time, on no clock in particular.
+    pub fn rtt(&self) -> u64 {
+        let total = self.ack_in.saturating_sub(self.send);
+        let turnaround = self.ack_out.saturating_sub(self.wire_in);
+        total.saturating_sub(turnaround)
+    }
+}
+
+/// One directed pairwise estimate: the receiver's clock minus the
+/// sender's, from the minimum-RTT sample seen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockEstimate {
+    /// Receiver clock minus sender clock, in ticks.
+    pub offset: i64,
+    /// RTT of the sample the estimate came from — the error bound is
+    /// `rtt / 2`.
+    pub rtt: u64,
+    /// Plausible samples folded in (the estimate uses the best one).
+    pub samples: usize,
+}
+
+/// Minimum-RTT filter over [`RttSample`]s for one directed node pair.
+#[derive(Debug, Default, Clone)]
+pub struct OffsetEstimator {
+    best: Option<(u64, i64)>,
+    samples: usize,
+}
+
+impl OffsetEstimator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one sample; implausible ones (clock readings out of order
+    /// on their own node, e.g. from a ring that overwrote part of the
+    /// quadruple) are discarded.
+    pub fn add(&mut self, s: &RttSample) {
+        if !s.plausible() {
+            return;
+        }
+        self.samples += 1;
+        let cand = (s.rtt(), s.offset());
+        match self.best {
+            Some((rtt, _)) if rtt <= cand.0 => {}
+            _ => self.best = Some(cand),
+        }
+    }
+
+    pub fn estimate(&self) -> Option<ClockEstimate> {
+        self.best.map(|(rtt, offset)| ClockEstimate {
+            offset,
+            rtt,
+            samples: self.samples,
+        })
+    }
+}
+
+/// Extract every completed send→ack quadruple from a set of trace events
+/// (typically the concatenation of all endpoints' rings). Returns
+/// `(sender, receiver, sample)` triples, one per `(trace, hop)` whose four
+/// span events all survived in the rings.
+pub fn extract_samples(events: &[TraceEvent]) -> Vec<(u16, u16, RttSample)> {
+    #[derive(Default)]
+    struct Partial {
+        send: Option<(u16, u64)>,
+        wire_in: Option<(u16, u64)>,
+        ack_out: Option<u64>,
+        ack_in: Option<u64>,
+    }
+    let mut partials: HashMap<(u32, u16), Partial> = HashMap::new();
+    for ev in events {
+        let Some((trace, hop)) = ev.kind.span() else {
+            continue;
+        };
+        let p = partials.entry((trace, hop)).or_default();
+        match ev.kind {
+            // First occurrence wins: a retransmitted frame can produce a
+            // second span_ack_in on a different tick only if the slot were
+            // re-traced, which queue_data_frame never does.
+            EventKind::SpanSend { .. } => {
+                p.send.get_or_insert((ev.node, ev.tick));
+            }
+            EventKind::SpanWireIn { .. } => {
+                p.wire_in.get_or_insert((ev.node, ev.tick));
+            }
+            EventKind::SpanAckOut { .. } => {
+                p.ack_out.get_or_insert(ev.tick);
+            }
+            EventKind::SpanAckIn { .. } => {
+                p.ack_in.get_or_insert(ev.tick);
+            }
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    for p in partials.into_values() {
+        let (Some((snd_node, send)), Some((rcv_node, wire_in)), Some(ack_out), Some(ack_in)) =
+            (p.send, p.wire_in, p.ack_out, p.ack_in)
+        else {
+            continue;
+        };
+        if snd_node == rcv_node {
+            continue; // loopback never crosses clocks
+        }
+        out.push((
+            snd_node,
+            rcv_node,
+            RttSample {
+                send,
+                wire_in,
+                ack_out,
+                ack_in,
+            },
+        ));
+    }
+    out
+}
+
+/// Cluster-wide clock alignment: an offset per node relative to one
+/// reference node, chained from pairwise minimum-RTT estimates.
+#[derive(Debug, Clone)]
+pub struct ClusterClock {
+    reference: u16,
+    /// node → (offset vs reference, worst-link rtt along the chain).
+    offsets: HashMap<u16, (i64, u64)>,
+}
+
+impl ClusterClock {
+    /// Build from trace events. Nodes appear either by recording any event
+    /// or by being reachable through traced traffic; nodes with no traced
+    /// path to the reference keep their raw clock (offset 0) — visible via
+    /// [`ClusterClock::is_aligned`].
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        // Directed pairwise estimators, keyed (sender, receiver).
+        let mut pairs: HashMap<(u16, u16), OffsetEstimator> = HashMap::new();
+        for (snd, rcv, sample) in extract_samples(events) {
+            pairs.entry((snd, rcv)).or_default().add(&sample);
+        }
+        // Undirected adjacency: offset(b) - offset(a) = est, where est is
+        // "b's clock minus a's clock".
+        let mut adj: HashMap<u16, Vec<(u16, i64, u64)>> = HashMap::new();
+        for ((a, b), est) in &pairs {
+            let Some(e) = est.estimate() else { continue };
+            adj.entry(*a).or_default().push((*b, e.offset, e.rtt));
+            adj.entry(*b).or_default().push((*a, -e.offset, e.rtt));
+        }
+        let mut nodes: Vec<u16> = events.iter().map(|e| e.node).collect();
+        nodes.extend(adj.keys().copied());
+        nodes.sort_unstable();
+        nodes.dedup();
+        let reference = nodes.first().copied().unwrap_or(0);
+        // BFS from the reference, accumulating offsets along the way. When
+        // several links reach a node the first (fewest-hops) one wins —
+        // good enough for timeline rendering; a least-squares pass would
+        // go here if it ever is not.
+        let mut offsets: HashMap<u16, (i64, u64)> = HashMap::new();
+        offsets.insert(reference, (0, 0));
+        let mut queue = std::collections::VecDeque::from([reference]);
+        while let Some(a) = queue.pop_front() {
+            let (base, base_rtt) = offsets[&a];
+            let Some(links) = adj.get(&a) else { continue };
+            for &(b, delta, rtt) in links {
+                if offsets.contains_key(&b) {
+                    continue;
+                }
+                offsets.insert(b, (base + delta, base_rtt.max(rtt)));
+                queue.push_back(b);
+            }
+        }
+        ClusterClock { reference, offsets }
+    }
+
+    /// The node every offset is relative to.
+    pub fn reference(&self) -> u16 {
+        self.reference
+    }
+
+    /// `node`'s clock offset relative to the reference (what to *subtract*
+    /// from its ticks), or 0 when the node was never aligned.
+    pub fn offset(&self, node: u16) -> i64 {
+        self.offsets.get(&node).map(|&(o, _)| o).unwrap_or(0)
+    }
+
+    /// Whether `node` has a traced path to the reference.
+    pub fn is_aligned(&self, node: u16) -> bool {
+        self.offsets.contains_key(&node)
+    }
+
+    /// The worst single-link RTT on `node`'s chain to the reference — the
+    /// per-link alignment error is bounded by half of it.
+    pub fn chain_rtt(&self, node: u16) -> u64 {
+        self.offsets.get(&node).map(|&(_, r)| r).unwrap_or(0)
+    }
+
+    /// Map one of `node`'s local ticks onto the reference timeline.
+    pub fn align(&self, node: u16, tick: u64) -> i64 {
+        tick as i64 - self.offset(node)
+    }
+
+    /// Nodes with offsets, sorted.
+    pub fn nodes(&self) -> Vec<u16> {
+        let mut v: Vec<u16> = self.offsets.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Tighten the offsets so every observed happens-before edge holds
+    /// after alignment. Each edge `(src, dst, w)` encodes one traced
+    /// message `src → dst` with `w = t_recv - t_send` in *raw* ticks;
+    /// feasibility requires `offset(dst) <= offset(src) + w` (then the
+    /// aligned receive is not earlier than the aligned send). Midpoint
+    /// estimates can miss this by up to RTT/2 when the one-way delays are
+    /// asymmetric, so a Bellman-Ford-style min-relaxation lowers offsets
+    /// until every edge holds — message edges cannot form a negative
+    /// cycle, because around any cycle the weights sum to the observed
+    /// one-way delays, which are non-negative — and the solution is then
+    /// re-normalized so the reference stays at 0 (constraints only pin
+    /// offset *differences*). Edges touching unaligned nodes are ignored.
+    pub fn constrain(&mut self, edges: &[(u16, u16, i64)]) {
+        // Tightest (minimum) weight per directed pair.
+        let mut tight: HashMap<(u16, u16), i64> = HashMap::new();
+        for &(a, b, w) in edges {
+            if a == b || !self.is_aligned(a) || !self.is_aligned(b) {
+                continue;
+            }
+            tight
+                .entry((a, b))
+                .and_modify(|m| *m = (*m).min(w))
+                .or_insert(w);
+        }
+        if tight.is_empty() {
+            return;
+        }
+        // Relax to a fixpoint; the pass cap also bounds the (impossible
+        // per the argument above, but cheap to guard) negative-cycle case.
+        for _ in 0..=self.offsets.len() {
+            let mut changed = false;
+            for (&(a, b), &w) in &tight {
+                let bound = self.offsets[&a].0 + w;
+                let ob = self.offsets.get_mut(&b).expect("aligned node");
+                if ob.0 > bound {
+                    ob.0 = bound;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let base = self.offsets[&self.reference].0;
+        if base != 0 {
+            for v in self.offsets.values_mut() {
+                v.0 -= base;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad(
+        snd: u16,
+        rcv: u16,
+        trace: u32,
+        hop: u16,
+        t: [u64; 4], // send, wire_in, ack_out, ack_in
+    ) -> [TraceEvent; 4] {
+        [
+            TraceEvent {
+                tick: t[0],
+                node: snd,
+                kind: EventKind::SpanSend {
+                    trace,
+                    hop,
+                    dst: rcv,
+                },
+            },
+            TraceEvent {
+                tick: t[1],
+                node: rcv,
+                kind: EventKind::SpanWireIn {
+                    trace,
+                    hop,
+                    src: snd,
+                },
+            },
+            TraceEvent {
+                tick: t[2],
+                node: rcv,
+                kind: EventKind::SpanAckOut {
+                    trace,
+                    hop,
+                    dst: snd,
+                },
+            },
+            TraceEvent {
+                tick: t[3],
+                node: snd,
+                kind: EventKind::SpanAckIn {
+                    trace,
+                    hop,
+                    peer: rcv,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn symmetric_delays_recover_offset_exactly() {
+        // B's clock runs 100 ahead of A's; both one-way delays are 3.
+        // A sends at 10 (=110 on B), B sees it at 113, acks at 114
+        // (=14 on A), A sees the ack at 17.
+        let evs = quad(0, 1, 7, 0, [10, 113, 114, 17]);
+        let samples = extract_samples(&evs);
+        assert_eq!(samples.len(), 1);
+        let (snd, rcv, s) = samples[0];
+        assert_eq!((snd, rcv), (0, 1));
+        assert_eq!(s.offset(), 100);
+        assert_eq!(s.rtt(), 6);
+    }
+
+    #[test]
+    fn min_rtt_sample_wins() {
+        let mut est = OffsetEstimator::new();
+        // True offset 100. A noisy sample (retransmission inflated the
+        // forward path by 40): offset skewed to 120, rtt 46.
+        est.add(&RttSample {
+            send: 10,
+            wire_in: 153,
+            ack_out: 154,
+            ack_in: 57,
+        });
+        // A clean sample: offset 100, rtt 6.
+        est.add(&RttSample {
+            send: 200,
+            wire_in: 303,
+            ack_out: 304,
+            ack_in: 207,
+        });
+        let e = est.estimate().unwrap();
+        assert_eq!(e.offset, 100);
+        assert_eq!(e.rtt, 6);
+        assert_eq!(e.samples, 2);
+    }
+
+    #[test]
+    fn implausible_samples_rejected() {
+        let mut est = OffsetEstimator::new();
+        est.add(&RttSample {
+            send: 10,
+            wire_in: 5,
+            ack_out: 6,
+            ack_in: 4, // ack before send on the sender's own clock
+        });
+        assert!(est.estimate().is_none());
+    }
+
+    #[test]
+    fn cluster_clock_chains_through_intermediate() {
+        // 0→1 offset +50, 1→2 offset +30; no direct 0↔2 traffic.
+        let mut evs = Vec::new();
+        evs.extend(quad(0, 1, 1, 0, [10, 62, 63, 15]));
+        evs.extend(quad(1, 2, 2, 0, [100, 132, 133, 105]));
+        let clock = ClusterClock::from_events(&evs);
+        assert_eq!(clock.reference(), 0);
+        assert_eq!(clock.offset(0), 0);
+        assert_eq!(clock.offset(1), 50);
+        assert_eq!(clock.offset(2), 80, "chained through node 1");
+        assert!(clock.is_aligned(2));
+        // Alignment maps both ends of a hop near each other.
+        assert_eq!(clock.align(0, 10), 10);
+        assert_eq!(clock.align(1, 62), 12);
+    }
+
+    #[test]
+    fn constrain_restores_happens_before() {
+        // True offset 0, but the estimation quadruple has asymmetric
+        // delays (forward 6, return 0), so the midpoint estimates +3.
+        let evs = quad(0, 1, 1, 0, [10, 16, 17, 17]);
+        let mut clock = ClusterClock::from_events(&evs);
+        assert_eq!(clock.offset(1), 3);
+        // A later message with a 1-tick forward delay would then appear to
+        // arrive 2 ticks before it was sent (20 → raw 21 → aligned 18).
+        assert!(clock.align(1, 21) < clock.align(0, 20));
+        clock.constrain(&[(0, 1, 21 - 20)]);
+        assert_eq!(clock.offset(1), 1, "lowered just enough");
+        assert!(clock.align(1, 21) >= clock.align(0, 20));
+        assert_eq!(clock.offset(0), 0, "reference stays pinned");
+    }
+
+    #[test]
+    fn unaligned_node_keeps_raw_clock() {
+        let evs = quad(0, 1, 1, 0, [10, 62, 63, 15]);
+        let clock = ClusterClock::from_events(&evs);
+        assert!(!clock.is_aligned(9));
+        assert_eq!(clock.offset(9), 0);
+        assert_eq!(clock.align(9, 42), 42);
+    }
+}

@@ -29,10 +29,16 @@
 //! [`Histogram`]s stay fully functional either way: measurement harnesses
 //! (the testbed loss sweep, `bench_gate`'s ping-pong) depend on them.
 
+pub mod aggregate;
+pub mod clocksync;
 pub mod hist;
+pub mod merge;
 pub mod trace;
 
+pub use aggregate::{FlightDump, MetricsAggregator, TickSample};
+pub use clocksync::{ClockEstimate, ClusterClock, OffsetEstimator, RttSample};
 pub use hist::{bucket_index, bucket_lower, bucket_upper, HistSummary, Histogram, BUCKETS, SUB};
+pub use merge::{FlowPair, MergeReport, MergedEvent};
 pub use trace::{chrome_trace, EventKind, EventRing, TraceEvent};
 
 #[cfg(not(feature = "telemetry-off"))]

@@ -34,6 +34,32 @@ pub enum EventKind {
     SlotReuse { slot: u16, gen: u8 },
     /// A peer exhausted its retry budget and was declared dead.
     PeerDead { peer: u16 },
+    // ---- causal-trace span events ------------------------------------
+    //
+    // The life of one *sampled* message, stamped with the cluster-wide
+    // trace id + hop it carries in its frame header (see
+    // `fm-core::frame::TraceCtx`). `fm_telemetry::merge` pairs these
+    // across endpoints into one clock-aligned timeline; `clocksync` feeds
+    // on the send → wire-in → ack-out → ack-in quadruple.
+    /// A sampled data frame was queued for the wire (hop origin).
+    SpanSend { trace: u32, hop: u16, dst: u16 },
+    /// A sampled frame was accepted off the wire (recorded once per
+    /// `(trace, hop)` on the receiver — duplicates are suppressed by the
+    /// sequence window before this fires).
+    SpanWireIn { trace: u32, hop: u16, src: u16 },
+    /// A sampled frame arrived ahead of sequence and was parked in the
+    /// reorder buffer (it was still accepted: `SpanWireIn` fired too).
+    SpanPark { trace: u32, hop: u16, src: u16 },
+    /// The handler for a sampled frame started running.
+    SpanHandlerStart { trace: u32, hop: u16, src: u16 },
+    /// The handler for a sampled frame returned.
+    SpanHandlerEnd { trace: u32, hop: u16 },
+    /// The receiver queued the ack covering a sampled frame.
+    SpanAckOut { trace: u32, hop: u16, dst: u16 },
+    /// The sender saw the first valid ack for a sampled frame's slot.
+    SpanAckIn { trace: u32, hop: u16, peer: u16 },
+    /// A sampled frame was retransmitted (bounce- or timer-driven).
+    SpanRetransmit { trace: u32, hop: u16, peer: u16 },
 }
 
 impl EventKind {
@@ -45,10 +71,33 @@ impl EventKind {
             EventKind::Retransmit { .. } => "retransmit",
             EventKind::SlotReuse { .. } => "slot_reuse",
             EventKind::PeerDead { .. } => "peer_dead",
+            EventKind::SpanSend { .. } => "span_send",
+            EventKind::SpanWireIn { .. } => "span_wire_in",
+            EventKind::SpanPark { .. } => "span_park",
+            EventKind::SpanHandlerStart { .. } => "span_handler_start",
+            EventKind::SpanHandlerEnd { .. } => "span_handler_end",
+            EventKind::SpanAckOut { .. } => "span_ack_out",
+            EventKind::SpanAckIn { .. } => "span_ack_in",
+            EventKind::SpanRetransmit { .. } => "span_retransmit",
         }
     }
 
-    fn args_json(self) -> String {
+    /// `(trace id, hop)` when this is a causal-trace span event.
+    pub fn span(self) -> Option<(u32, u16)> {
+        match self {
+            EventKind::SpanSend { trace, hop, .. }
+            | EventKind::SpanWireIn { trace, hop, .. }
+            | EventKind::SpanPark { trace, hop, .. }
+            | EventKind::SpanHandlerStart { trace, hop, .. }
+            | EventKind::SpanHandlerEnd { trace, hop }
+            | EventKind::SpanAckOut { trace, hop, .. }
+            | EventKind::SpanAckIn { trace, hop, .. }
+            | EventKind::SpanRetransmit { trace, hop, .. } => Some((trace, hop)),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn args_json(self) -> String {
         match self {
             EventKind::Send { dst, slot, seq } => {
                 format!("{{\"dst\":{dst},\"slot\":{slot},\"seq\":{seq}}}")
@@ -59,6 +108,24 @@ impl EventKind {
             }
             EventKind::SlotReuse { slot, gen } => format!("{{\"slot\":{slot},\"gen\":{gen}}}"),
             EventKind::PeerDead { peer } => format!("{{\"peer\":{peer}}}"),
+            EventKind::SpanSend { trace, hop, dst } => {
+                format!("{{\"trace\":{trace},\"hop\":{hop},\"dst\":{dst}}}")
+            }
+            EventKind::SpanWireIn { trace, hop, src }
+            | EventKind::SpanPark { trace, hop, src }
+            | EventKind::SpanHandlerStart { trace, hop, src } => {
+                format!("{{\"trace\":{trace},\"hop\":{hop},\"src\":{src}}}")
+            }
+            EventKind::SpanHandlerEnd { trace, hop } => {
+                format!("{{\"trace\":{trace},\"hop\":{hop}}}")
+            }
+            EventKind::SpanAckOut { trace, hop, dst } => {
+                format!("{{\"trace\":{trace},\"hop\":{hop},\"dst\":{dst}}}")
+            }
+            EventKind::SpanAckIn { trace, hop, peer }
+            | EventKind::SpanRetransmit { trace, hop, peer } => {
+                format!("{{\"trace\":{trace},\"hop\":{hop},\"peer\":{peer}}}")
+            }
         }
     }
 }

@@ -8,8 +8,13 @@
 //! * Counter snapshots must be consistent under concurrent senders.
 //! * The event ring must keep exactly the newest `capacity` events across
 //!   wraparound while still counting every push.
+//! * Clock-offset estimation must recover a known injected offset to
+//!   within half the round-trip time — the NTP-midpoint error bound the
+//!   merged-timeline renderer relies on.
 
-use fm_telemetry::{chrome_trace, Counter, EventKind, Histogram, Telemetry};
+use fm_telemetry::{
+    chrome_trace, ClusterClock, Counter, EventKind, Histogram, RttSample, Telemetry, TraceEvent,
+};
 use proptest::prelude::*;
 
 /// Exact nearest-rank quantile over the raw samples — the model the
@@ -58,6 +63,59 @@ proptest! {
         prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
         prop_assert_eq!(h.min(), *samples.iter().min().unwrap());
         prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+    }
+
+    /// Synthesize one traced send→ack quadruple with a known receiver
+    /// clock offset and arbitrary non-negative one-way delays: the NTP
+    /// midpoint must land within RTT/2 of the injected offset, both on the
+    /// raw sample and through the event-based [`ClusterClock`] pipeline.
+    /// (The half-tick of integer truncation allows ceil rather than floor.)
+    #[test]
+    fn clock_offset_recovered_within_half_rtt(
+        offset in -1_000_000i64..=1_000_000,
+        send in 2_000_000u64..3_000_000,
+        fwd in 0u64..=500,
+        turnaround in 0u64..=100,
+        back in 0u64..=500,
+    ) {
+        // Sender clock: send, then ack_in after fwd + turnaround + back.
+        // Receiver clock: the same instants, shifted by `offset`.
+        let wire_in = ((send + fwd) as i64 + offset) as u64;
+        let ack_out = wire_in + turnaround;
+        let ack_in = send + fwd + turnaround + back;
+        let s = RttSample { send, wire_in, ack_out, ack_in };
+        prop_assert!(s.plausible());
+        prop_assert_eq!(s.rtt(), fwd + back, "turnaround must cancel out");
+        let half_rtt_ceil = (s.rtt() as i64 + 1) / 2;
+        let err = (s.offset() - offset).abs();
+        prop_assert!(
+            err <= half_rtt_ceil,
+            "midpoint missed by {err} > rtt/2 = {half_rtt_ceil}"
+        );
+
+        // Same bound through the full pipeline: span events -> quadruple
+        // extraction -> min-RTT filter -> BFS chaining.
+        let trace = 1u32;
+        let evs = [
+            TraceEvent { tick: send, node: 0,
+                kind: EventKind::SpanSend { trace, hop: 0, dst: 1 } },
+            TraceEvent { tick: wire_in, node: 1,
+                kind: EventKind::SpanWireIn { trace, hop: 0, src: 0 } },
+            TraceEvent { tick: ack_out, node: 1,
+                kind: EventKind::SpanAckOut { trace, hop: 0, dst: 0 } },
+            TraceEvent { tick: ack_in, node: 0,
+                kind: EventKind::SpanAckIn { trace, hop: 0, peer: 1 } },
+        ];
+        let clock = ClusterClock::from_events(&evs);
+        prop_assert!(clock.is_aligned(1));
+        prop_assert_eq!(clock.offset(0), 0, "reference pinned at zero");
+        let chain_err = (clock.offset(1) - offset).abs();
+        let chain_bound = (clock.chain_rtt(1) as i64 + 1) / 2;
+        prop_assert!(
+            chain_err <= chain_bound,
+            "chained offset {} missed injected {offset} by more than rtt/2",
+            clock.offset(1)
+        );
     }
 }
 

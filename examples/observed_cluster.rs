@@ -14,11 +14,20 @@
 //! `chrome://tracing` (or <https://ui.perfetto.dev>) to scrub through the
 //! protocol's life frame by frame.
 //!
+//! It then feeds both endpoints to a [`MetricsAggregator`] and dumps the
+//! *merged* cluster view: every ring clock-aligned onto one timeline
+//! (`observed_merged.json`, one process lane per endpoint with flow
+//! arrows tying each traced send to its receive) plus a Prometheus text
+//! scrape (`observed_metrics.prom`). For a bigger version of the same
+//! pipeline — four endpoints, multi-hop causal chains — see the
+//! `trace_merge` binary in `fm-bench`.
+//!
 //! Build with `--features fm-core/telemetry-off` and the same program
 //! still runs; every counter reads zero and the trace is empty, because
 //! the instrumentation compiles to no-ops.
 
 use fm_repro::fm_core::{EndpointConfig, FabricKind, FaultConfig, TelemetryCounter};
+use fm_repro::fm_telemetry::MetricsAggregator;
 use fm_repro::prelude::*;
 
 /// Messages pushed through the lossy wire.
@@ -32,6 +41,10 @@ fn main() {
         recv_ring: 32,
         rto_initial: 64,
         retry_budget: 32,
+        // Sample 1 in 8 sends for causal tracing so the merged view has a
+        // healthy population of flow arrows (the production default, 64,
+        // would trace only ~8 of the 500 messages here).
+        trace_one_in: 8,
         ..Default::default()
     };
     let faults = FaultConfig::uniform(0x0B5E_87ED, 0.05);
@@ -86,5 +99,29 @@ fn main() {
         "wrote observed_trace.json ({events} events, {} recorded in total) — \
          open it at chrome://tracing",
         t.events_recorded()
+    );
+
+    // -- merged cluster view: aggregate + clock-align both endpoints ------
+    let mut agg = MetricsAggregator::new();
+    agg.register(a.telemetry().clone());
+    agg.register(b.telemetry().clone());
+    agg.tick(1); // one scrape: the delta baseline for the Prometheus export
+    let report = agg.merged();
+    std::fs::write("observed_merged.json", report.chrome_trace())
+        .expect("write observed_merged.json");
+    std::fs::write("observed_metrics.prom", agg.prometheus())
+        .expect("write observed_metrics.prom");
+    println!(
+        "\nmerged cluster timeline: {} events, {} flow pairs \
+         ({} orphan sends, {} orphan receives, {} causal violations)",
+        report.events.len(),
+        report.flow_pairs(),
+        report.orphan_sends,
+        report.orphan_receives,
+        report.causal_violations,
+    );
+    println!(
+        "wrote observed_merged.json (one lane per endpoint, flow arrows \
+         between them) and observed_metrics.prom (Prometheus text format)"
     );
 }
