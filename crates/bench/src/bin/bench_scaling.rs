@@ -1,0 +1,294 @@
+//! Switch-scale gate: aggregate bandwidth + tail latency vs cluster size,
+//! and reject-queue boundedness under incast, on the live switched runtime.
+//!
+//! Runs clusters of 2→64 endpoints (`--smoke`: 2→8) through
+//! `fm_core::SwitchedCluster` — real threads, real SPSC rings, frames
+//! store-and-forwarded through switch shards — and emits
+//! `BENCH_scaling.json` with three sections:
+//!
+//! * `points`  — per cluster size: disjoint-pair aggregate bandwidth
+//!   (wall-clock), pingpong p50/p99 one-way latency between the two
+//!   most distant hosts, and the hop count between them;
+//! * `incast`  — per sender count K: every sender's peak reject-queue
+//!   occupancy while overloading one receiver, plus receiver bounces;
+//! * `gate`    — the paper-backed assertions (Section 4.5): aggregate
+//!   bandwidth non-decreasing from 2 to 16 endpoints, every reject queue
+//!   bounded by its window, and the peak occupancy *constant in K* —
+//!   sender memory must not grow with cluster size or contention.
+//!
+//! Like `bench_gate`, `--smoke` reports the same JSON with
+//! `"enforced": false` and never fails: wall-clock bandwidth on a loaded
+//! CI box is not a stable gate signal. Full runs enforce and exit 1.
+
+use fm_core::{
+    ClusterRunner, EndpointConfig, HandlerId, NodeId, SwitchRunner, SwitchTopology,
+    SwitchedCluster,
+};
+use fm_telemetry::Histogram;
+use fm_testbed::scaling::{incast_config, live_incast, live_parallel_pairs, LIVE_MSG_BYTES};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!("usage: bench_scaling [--smoke] [--out PATH]");
+    std::process::exit(2);
+}
+
+struct SizePoint {
+    n: usize,
+    pairs: usize,
+    aggregate_mbs: f64,
+    fairness: f64,
+    p50_us: f64,
+    p99_us: f64,
+    hops: usize,
+}
+
+struct IncastPoint {
+    k: usize,
+    peak_outstanding: usize,
+    rejected: u64,
+    total_mbs: f64,
+    fairness: f64,
+}
+
+/// One-way latency percentiles for a pingpong between host 0 and the most
+/// distant host of an `n`-endpoint switched cluster.
+fn switched_pingpong(n: usize, warmup: u64, rounds: u64) -> (f64, f64, usize) {
+    let topo = SwitchTopology::for_cluster(n);
+    let far = NodeId((n - 1) as u16);
+    let hops = topo.hops(NodeId(0), far);
+    let mut cluster = SwitchedCluster::new(&topo, EndpointConfig::default());
+    cluster.endpoints[n - 1].register_handler_at(HandlerId(1), |out, src, data| {
+        out.send_copy(src, HandlerId(2), data);
+    });
+    let echoes = Arc::new(AtomicU64::new(0));
+    let e2 = echoes.clone();
+    cluster.endpoints[0].register_handler_at(HandlerId(2), move |_, _, _| {
+        e2.fetch_add(1, Ordering::Relaxed);
+    });
+    let (mut endpoints, shards) = cluster.split();
+    let switches = SwitchRunner::start(shards);
+    let mut ep0 = endpoints.remove(0);
+    let others = ClusterRunner::start(endpoints);
+    let payload = [0x5Au8; 16];
+    let mut done = 0u64;
+    let mut round = |ep0: &mut fm_core::MemEndpoint| {
+        ep0.send(far, HandlerId(1), &payload);
+        done += 1;
+        while echoes.load(Ordering::Relaxed) < done {
+            ep0.extract();
+            std::thread::yield_now();
+        }
+    };
+    for _ in 0..warmup {
+        round(&mut ep0);
+    }
+    let rtts = Histogram::new();
+    for _ in 0..rounds {
+        let t = Instant::now();
+        round(&mut ep0);
+        rtts.record(t.elapsed().as_nanos() as u64);
+    }
+    for _ in 0..20 {
+        ep0.extract();
+        std::thread::yield_now();
+    }
+    others
+        .shutdown(Duration::from_secs(10))
+        .expect("endpoint threads join");
+    switches
+        .shutdown(Duration::from_secs(10))
+        .expect("switch threads join");
+    (
+        rtts.quantile(0.50) as f64 / 2.0 / 1000.0,
+        rtts.quantile(0.99) as f64 / 2.0 / 1000.0,
+        hops,
+    )
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_scaling.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().unwrap_or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    let sizes: &[usize] = if smoke {
+        &[2, 4, 8]
+    } else {
+        &[2, 4, 8, 16, 32, 64]
+    };
+    let (pair_count, rounds, warmup) = if smoke { (600, 200, 30) } else { (3000, 500, 50) };
+    let incast_ks: &[usize] = if smoke { &[2, 4, 7] } else { &[2, 4, 8, 15] };
+    let incast_msgs = if smoke { 150 } else { 600 };
+
+    eprintln!("bench_scaling: sizes {sizes:?}, {pair_count} msgs/pair, incast K {incast_ks:?}");
+
+    let mut points = Vec::new();
+    for &n in sizes {
+        let pairs = n / 2;
+        let bw = live_parallel_pairs(pairs, pair_count);
+        let (p50_us, p99_us, hops) = switched_pingpong(n, warmup, rounds);
+        eprintln!(
+            "  n={n:>2}: {:.1} MB/s aggregate over {pairs} pairs (fairness {:.3}), \
+             p50 {p50_us:.1}us / p99 {p99_us:.1}us over {hops} hop(s)",
+            bw.total_mbs, bw.fairness
+        );
+        points.push(SizePoint {
+            n,
+            pairs,
+            aggregate_mbs: bw.total_mbs,
+            fairness: bw.fairness,
+            p50_us,
+            p99_us,
+            hops,
+        });
+    }
+
+    let window = incast_config().window;
+    let mut incasts = Vec::new();
+    for &k in incast_ks {
+        let r = live_incast(k, incast_msgs, incast_config());
+        let peak = r.peak_outstanding.iter().copied().max().unwrap_or(0);
+        eprintln!(
+            "  incast k={k:>2}: peak reject-queue {peak}/{window}, {} bounces, {:.1} MB/s",
+            r.rejected, r.total_mbs
+        );
+        incasts.push(IncastPoint {
+            k,
+            peak_outstanding: peak,
+            rejected: r.rejected,
+            total_mbs: r.total_mbs,
+            fairness: r.fairness,
+        });
+    }
+
+    // Gates. Monotonicity gets a 15% wall-clock jitter allowance — on a
+    // core-starved box aggregate throughput plateaus instead of growing,
+    // and scheduler noise swings individual points ~10%; a genuine
+    // serialization bug (every pair through one blocked port) costs far
+    // more than 15%. The reject-queue bound is exact (a correctness
+    // property, not a timing one); "constant in K" tolerates a
+    // quarter-window of spread (under sustained overload every sender
+    // pins at the window).
+    let upto16: Vec<f64> = points
+        .iter()
+        .filter(|p| p.n <= 16)
+        .map(|p| p.aggregate_mbs)
+        .collect();
+    let monotone_2_16 = upto16.windows(2).all(|w| w[1] >= 0.85 * w[0]);
+    let reject_bounded = incasts.iter().all(|p| p.peak_outstanding <= window);
+    let peaks: Vec<usize> = incasts.iter().map(|p| p.peak_outstanding).collect();
+    let spread = peaks.iter().max().unwrap_or(&0) - peaks.iter().min().unwrap_or(&0);
+    let reject_constant = spread <= window / 4;
+    let enforced = !smoke;
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        concat!(
+            "{{\n",
+            "  \"bench\": \"scaling_gate\",\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"msg_bytes\": {msg_bytes},\n",
+            "  \"msgs_per_pair\": {pair_count},\n",
+            "  \"points\": [\n"
+        ),
+        smoke = smoke,
+        msg_bytes = LIVE_MSG_BYTES,
+        pair_count = pair_count,
+    );
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {}, \"pairs\": {}, \"aggregate_mbs\": {:.2}, \"fairness\": {:.4}, \
+             \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"hops\": {}}}{}",
+            p.n,
+            p.pairs,
+            p.aggregate_mbs,
+            p.fairness,
+            p.p50_us,
+            p.p99_us,
+            p.hops,
+            if i + 1 < points.len() { "," } else { "" },
+        );
+    }
+    let _ = write!(
+        json,
+        concat!(
+            "  ],\n",
+            "  \"incast\": {{\n",
+            "    \"window\": {window},\n",
+            "    \"msgs_per_sender\": {msgs},\n",
+            "    \"points\": [\n"
+        ),
+        window = window,
+        msgs = incast_msgs,
+    );
+    for (i, p) in incasts.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"k\": {}, \"peak_outstanding\": {}, \"rejected\": {}, \
+             \"total_mbs\": {:.2}, \"fairness\": {:.4}}}{}",
+            p.k,
+            p.peak_outstanding,
+            p.rejected,
+            p.total_mbs,
+            p.fairness,
+            if i + 1 < incasts.len() { "," } else { "" },
+        );
+    }
+    let _ = write!(
+        json,
+        concat!(
+            "    ]\n",
+            "  }},\n",
+            "  \"gate\": {{\n",
+            "    \"monotone_2_16\": {monotone},\n",
+            "    \"reject_bounded\": {bounded},\n",
+            "    \"reject_constant\": {constant},\n",
+            "    \"enforced\": {enforced}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        monotone = monotone_2_16,
+        bounded = reject_bounded,
+        constant = reject_constant,
+        enforced = enforced,
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("bench_scaling: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("{json}");
+
+    if enforced {
+        let mut failed = false;
+        if !monotone_2_16 {
+            eprintln!("GATE FAIL: aggregate bandwidth not non-decreasing 2->16: {upto16:?}");
+            failed = true;
+        }
+        if !reject_bounded {
+            eprintln!("GATE FAIL: reject-queue peak exceeded window {window}: {peaks:?}");
+            failed = true;
+        }
+        if !reject_constant {
+            eprintln!(
+                "GATE FAIL: reject-queue peak varies with K (spread {spread} > {}): {peaks:?}",
+                window / 4
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("bench_scaling: all gates PASS");
+    }
+}

@@ -458,6 +458,30 @@ impl WireFrame {
         }
     }
 
+    /// Read only the destination field out of an encoded frame, without
+    /// validating the CRC or copying the payload — the switch forwarding
+    /// path's route lookup. A corrupted destination byte misroutes the
+    /// frame, but the full-frame CRC check at the receiving endpoint then
+    /// rejects it (the CRC covers the same bytes peeked here), so the
+    /// endpoint-side `dst == self` invariant still holds for every frame
+    /// that *decodes*. Returns `None` for frames too short to carry the
+    /// field or with an unknown version marker.
+    pub fn peek_dst(buf: &[u8]) -> Option<NodeId> {
+        let first = *buf.first()?;
+        let off = if first & VERSION_MARKER == VERSION_MARKER {
+            if first & !VERSION_MARKER != FM_WIRE_VERSION {
+                return None;
+            }
+            6 // v1: dst at bytes 6..8
+        } else {
+            4 // legacy v0: dst at bytes 4..6
+        };
+        if buf.len() < off + 2 {
+            return None;
+        }
+        Some(NodeId(u16::from_le_bytes([buf[off], buf[off + 1]])))
+    }
+
     fn decode_v1(buf: &[u8]) -> Result<Self, CodecError> {
         if buf.len() < FM_HEADER_BYTES {
             return Err(CodecError::Truncated { have: buf.len() });
@@ -603,6 +627,17 @@ mod tests {
         assert_eq!(enc.len(), FM_HEADER_BYTES + 8 + FM_CRC_BYTES);
         let d = WireFrame::decode(&enc).unwrap();
         assert_eq!(d, f);
+    }
+
+    #[test]
+    fn peek_dst_matches_decode_for_both_layouts() {
+        let f = sample();
+        assert_eq!(WireFrame::peek_dst(&f.encode()), Some(NodeId(7)));
+        assert_eq!(WireFrame::peek_dst(&f.encode_v0()), Some(NodeId(7)));
+        // Too short for the field, or an unknown version: no peek.
+        assert_eq!(WireFrame::peek_dst(&[]), None);
+        assert_eq!(WireFrame::peek_dst(&[0xF1, 0, 0, 0, 0]), None);
+        assert_eq!(WireFrame::peek_dst(&[0xF7; 64]), None);
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub mod mem;
 pub mod queues;
 pub mod seg;
 pub mod stream;
+pub mod switched;
 
 pub use endpoint::{EndpointConfig, EndpointCore, EndpointStats, SendError};
 pub use fabric::{spsc_ring, BufferPool, RingConsumer, RingProducer};
@@ -79,6 +80,10 @@ pub use frame::{
 };
 pub use handler::{Handler, HandlerId, HandlerRegistry, Outbox};
 pub use mem::{ClusterRunner, FabricKind, MemCluster, MemEndpoint, ShutdownError};
+pub use switched::{SwitchRunner, SwitchShard, SwitchStats, SwitchedCluster};
+
+// The switched runtime routes over the network crate's topology model.
+pub use fm_myrinet::SwitchTopology;
 
 // Every endpoint carries an `fm_telemetry::Telemetry` handle (see
 // `EndpointCore::telemetry`); re-exported so callers can name the counter /

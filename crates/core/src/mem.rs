@@ -46,7 +46,7 @@ pub type LargeHandler = Box<dyn FnMut(&mut Outbox, NodeId, Vec<u8>) + Send>;
 /// Frames drained from one peer's ring per poll pass; bounds how long one
 /// peer can monopolize `extract` while keeping the per-batch atomic cost
 /// amortized.
-const WIRE_POLL_BATCH: usize = 32;
+pub(crate) const WIRE_POLL_BATCH: usize = 32;
 
 /// Which wire implementation a [`MemCluster`] uses between nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -72,6 +72,28 @@ enum WireTx {
 enum WireRx {
     Ring(Vec<Option<RingConsumer>>),
     Channel(Receiver<Box<[u8]>>),
+}
+
+/// How an endpoint is wired into the cluster.
+enum Wiring {
+    /// Fully connected: one transmit handle and one receive side per peer
+    /// (the [`MemCluster`] shape — every pair gets a private wire).
+    Mesh {
+        tx: Vec<Option<WireTx>>,
+        rx: WireRx,
+    },
+    /// Switch-routed: a single uplink ring into this host's switch shard
+    /// and a single downlink ring back from it; the shards forward frames
+    /// by destination (the [`crate::switched`] shape — port counts and
+    /// memory stay constant as the cluster grows, per Section 4.5's
+    /// design rule 4).
+    Switched {
+        up: RingProducer,
+        down: RingConsumer,
+        /// Total hosts in the topology (the mesh derives this from the
+        /// per-peer vector; here there is only one wire).
+        cluster: usize,
+    },
 }
 
 /// Aggregated wire-fabric counters for one endpoint (all zero on a
@@ -172,7 +194,9 @@ impl MemCluster {
         txs.into_iter()
             .zip(rxs)
             .enumerate()
-            .map(|(i, (tx_row, rx))| MemEndpoint::new(NodeId(i as u16), config, tx_row, rx))
+            .map(|(i, (tx, rx))| {
+                MemEndpoint::new(NodeId(i as u16), config, Wiring::Mesh { tx, rx })
+            })
             .collect()
     }
 }
@@ -185,8 +209,7 @@ type CompletedLarge = Arc<Mutex<VecDeque<(NodeId, HandlerId, Vec<u8>)>>>;
 /// segmentation extension.
 pub struct MemEndpoint {
     core: EndpointCore,
-    wire_tx: Vec<Option<WireTx>>,
-    wire_rx: WireRx,
+    wiring: Wiring,
     /// Frames that found their destination ring full; re-offered on every
     /// flush. Bounded in practice by the send window plus one extract
     /// round's worth of acks, because everything in `core.outgoing` is.
@@ -217,7 +240,7 @@ pub struct MemEndpoint {
 }
 
 impl MemEndpoint {
-    fn new(id: NodeId, config: EndpointConfig, wire_tx: Vec<Option<WireTx>>, wire_rx: WireRx) -> Self {
+    fn new(id: NodeId, config: EndpointConfig, wiring: Wiring) -> Self {
         let mut core = EndpointCore::new(id, config);
         let completed_large: CompletedLarge = Arc::new(Mutex::new(VecDeque::new()));
         let reasm = Arc::new(Mutex::new(Reassembly::new()));
@@ -243,8 +266,7 @@ impl MemEndpoint {
         let telemetry = core.telemetry().clone();
         MemEndpoint {
             core,
-            wire_tx,
-            wire_rx,
+            wiring,
             backlog: VecDeque::new(),
             completed_large,
             reasm,
@@ -272,24 +294,56 @@ impl MemEndpoint {
         self.core.telemetry()
     }
 
-    /// Number of peers (including self).
-    pub fn cluster_size(&self) -> usize {
-        self.wire_tx.len()
+    /// Build a switch-routed endpoint: one uplink into its switch shard,
+    /// one downlink back. Used by [`crate::switched::SwitchedCluster`].
+    pub(crate) fn new_switched(
+        id: NodeId,
+        config: EndpointConfig,
+        up: RingProducer,
+        down: RingConsumer,
+        cluster: usize,
+    ) -> Self {
+        Self::new(id, config, Wiring::Switched { up, down, cluster })
     }
 
-    /// Aggregated wire-fabric counters across all peers.
+    /// Decorate this endpoint's transmit path with a fault injector (the
+    /// switched cluster's equivalent of [`MemCluster::with_faulty_fabric`]).
+    pub(crate) fn set_fault_injector(&mut self, inj: FaultInjector) {
+        self.faults = Some(inj);
+    }
+
+    /// Number of peers (including self).
+    pub fn cluster_size(&self) -> usize {
+        match &self.wiring {
+            Wiring::Mesh { tx, .. } => tx.len(),
+            Wiring::Switched { cluster, .. } => *cluster,
+        }
+    }
+
+    /// Aggregated wire-fabric counters across all peers (for a switched
+    /// endpoint: its single uplink/downlink pair).
     pub fn fabric_stats(&self) -> FabricStats {
         let mut s = FabricStats::default();
-        for tx in self.wire_tx.iter().flatten() {
-            if let WireTx::Ring(p) = tx {
-                s.pushed += p.stats.pushed;
-                s.full += p.stats.full;
+        match &self.wiring {
+            Wiring::Mesh { tx, rx } => {
+                for tx in tx.iter().flatten() {
+                    if let WireTx::Ring(p) = tx {
+                        s.pushed += p.stats.pushed;
+                        s.full += p.stats.full;
+                    }
+                }
+                if let WireRx::Ring(consumers) = rx {
+                    for c in consumers.iter().flatten() {
+                        s.polled += c.stats.polled;
+                        s.batches += c.stats.batches;
+                    }
+                }
             }
-        }
-        if let WireRx::Ring(consumers) = &self.wire_rx {
-            for c in consumers.iter().flatten() {
-                s.polled += c.stats.polled;
-                s.batches += c.stats.batches;
+            Wiring::Switched { up, down, .. } => {
+                s.pushed = up.stats.pushed;
+                s.full = up.stats.full;
+                s.polled = down.stats.polled;
+                s.batches = down.stats.batches;
             }
         }
         s
@@ -543,7 +597,7 @@ impl MemEndpoint {
 
     fn pump_wire(&mut self) {
         let Self {
-            wire_rx,
+            wiring,
             core,
             codec_errors,
             telemetry,
@@ -558,7 +612,22 @@ impl MemEndpoint {
             Err(CodecError::BadCrc { .. }) => core.note_corrupt(),
             Err(_) => *codec_errors += 1,
         };
-        match wire_rx {
+        let rx = match wiring {
+            Wiring::Mesh { rx, .. } => rx,
+            Wiring::Switched { down, .. } => {
+                // One merged downlink: the shard already interleaved peers,
+                // so drain until empty in bounded batches.
+                loop {
+                    let got = down.poll_batch(WIRE_POLL_BATCH, &mut sink);
+                    if got == 0 {
+                        break;
+                    }
+                    telemetry.record(Metric::PollBatch, got as u64);
+                }
+                return;
+            }
+        };
+        match rx {
             WireRx::Ring(consumers) => {
                 // Round-robin over peers in bounded batches until a full
                 // sweep finds every ring empty — no peer starves, and each
@@ -639,7 +708,28 @@ impl MemEndpoint {
     /// undeliverable either way).
     fn offer(&mut self, of: OutboundFrame) -> Option<OutboundFrame> {
         let dst = of.frame.dst.index();
-        match self.wire_tx.get_mut(dst) {
+        let tx = match &mut self.wiring {
+            Wiring::Mesh { tx, .. } => tx.get_mut(dst),
+            Wiring::Switched { up, cluster, .. } => {
+                if dst >= *cluster {
+                    return None; // outside the topology: undeliverable
+                }
+                // Every destination shares the one uplink; the shard's
+                // route table takes it from here. A full uplink backlogs
+                // the frame exactly like a full per-peer ring would.
+                let frame = &of.frame;
+                let corrupt_bit = of.corrupt_bit;
+                let pushed = up.try_push_with(|slot| {
+                    let n = frame.encode_into(slot);
+                    if let Some(bit) = corrupt_bit {
+                        flip_bit(&mut slot[..n], bit);
+                    }
+                    n
+                });
+                return if pushed { None } else { Some(of) };
+            }
+        };
+        match tx {
             None | Some(None) => None,
             Some(Some(WireTx::Ring(producer))) => {
                 // Zero-copy fast path: encode straight into the ring slot.

@@ -1,0 +1,689 @@
+//! Switch-routed cluster runtime: N endpoints composed through the
+//! [`fm_myrinet::SwitchTopology`] fabric model.
+//!
+//! [`crate::mem::MemCluster`] wires every ordered pair with a private SPSC
+//! ring — O(n²) rings, fine at 2–8 nodes, nothing like the hardware. A real
+//! Myrinet host has *one* cable into *one* switch port; everything past
+//! that is the switch's problem. [`SwitchedCluster`] reproduces that shape:
+//! each endpoint owns a single uplink ring into its switch's shard and a
+//! single downlink ring back, and each switch is a [`SwitchShard`] — a
+//! store-and-forward crossbar that routes encoded frames by peeking the
+//! destination field ([`WireFrame::peek_dst`]) and consulting the
+//! topology's precomputed next-hop table. Switch-to-switch trunks are the
+//! same SPSC rings.
+//!
+//! Two properties carry over from the paper's design (Section 4.5):
+//!
+//! * **Constant per-host memory.** A host's wiring is one uplink + one
+//!   downlink regardless of cluster size; the sender's reject queue (its
+//!   retransmission buffer) was already sized by the window alone. Growing
+//!   the cluster adds switch shards, not per-host state — design rule 4's
+//!   "flow control must not require per-pair buffering".
+//! * **Backpressure, not loss.** A shard forwards a frame only when the
+//!   output ring has room; otherwise the frame parks in a small per-input
+//!   stash (≤ one poll batch) and that input stops draining until the head
+//!   clears — wormhole-style head-of-line blocking. Full downstream rings
+//!   therefore propagate pressure hop by hop back to the sending
+//!   endpoint's uplink, whose refusal lands frames in the endpoint backlog
+//!   bounded by its send window. Because topologies are trees, the
+//!   blocking graph is acyclic and cannot deadlock.
+//!
+//! Return-to-sender flow control needs nothing new: a receiver's bounce
+//! (`Return`) frame carries the original sender as `dst` and routes back
+//! through the same shards like any other frame, so reject/retransmit
+//! works unchanged across multi-hop paths.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fm_myrinet::{NodeId, SwitchTopology};
+
+use crate::endpoint::EndpointConfig;
+use crate::fabric::{spsc_ring, RingConsumer, RingProducer};
+use crate::fault::{FaultConfig, FaultInjector};
+use crate::frame::{WireFrame, FM_FRAME_MAX};
+use crate::mem::{MemEndpoint, ShutdownError, WIRE_POLL_BATCH};
+
+/// Forwarding counters for one switch shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// Frames copied into an output ring.
+    pub forwarded: u64,
+    /// Forward attempts refused by a full output ring (the frame parked in
+    /// the stash and the input stalled).
+    pub stalled: u64,
+    /// Frames dropped because no destination could be peeked or routed
+    /// (truncated/unknown-version image, or a destination outside the
+    /// topology — only reachable through injected corruption).
+    pub dropped: u64,
+    /// Stashed frames discarded after [`STASH_RETRY_LIMIT`] consecutive
+    /// failed forwards — a downstream ring nobody drains (dead host).
+    /// The reliability layer treats this as loss: live senders
+    /// retransmit, senders to the dead host burn their retry budget and
+    /// declare it unreachable.
+    pub timed_out: u64,
+}
+
+/// Consecutive failed forward attempts before a stashed head frame is
+/// dropped. Transient congestion clears in tens of pumps (the receiver
+/// only has to extract); only a *never*-drained output — a host that
+/// stopped extracting entirely — reaches this, and leaving its frames
+/// parked would head-of-line-block every flow sharing the input (a dead
+/// node wedging live ones through a shared trunk).
+const STASH_RETRY_LIMIT: u32 = 512;
+
+/// A frame pulled off an input ring whose output was full at the time.
+struct Stashed {
+    out: usize,
+    len: usize,
+    /// Consecutive pumps on which the output was still full.
+    tries: u32,
+    buf: [u8; FM_FRAME_MAX],
+}
+
+/// One input port: the ring being drained plus its bounded
+/// store-and-forward stash.
+struct SwitchInput {
+    ring: RingConsumer,
+    /// At most one poll batch of frames; the input is not polled again
+    /// until this drains, so shard memory is bounded by
+    /// `inputs × WIRE_POLL_BATCH × FM_FRAME_MAX` no matter the offered
+    /// load.
+    stash: VecDeque<Stashed>,
+}
+
+/// One switch of the topology, as a runnable forwarding engine.
+///
+/// Owns the consumer side of every ring feeding this switch (host uplinks
+/// and inbound trunks) and the producer side of every ring leaving it
+/// (host downlinks and outbound trunks). `Send` but not `Sync`: pin each
+/// shard to one thread, or drive all of them round-robin on one.
+pub struct SwitchShard {
+    id: usize,
+    inputs: Vec<SwitchInput>,
+    outputs: Vec<RingProducer>,
+    /// Destination host index → output index. Precomputed from the
+    /// topology's BFS next-hop table: a local host maps to its downlink,
+    /// a remote one to the trunk toward `next_hop(self, its switch)`.
+    route: Vec<usize>,
+    pub stats: SwitchStats,
+}
+
+impl SwitchShard {
+    /// Which switch of the topology this shard implements.
+    pub fn switch_id(&self) -> usize {
+        self.id
+    }
+
+    /// True when nothing is parked in any input stash. (Input *rings* may
+    /// still hold frames; a `pump` returning 0 with `is_idle` means the
+    /// shard is fully drained.)
+    pub fn is_idle(&self) -> bool {
+        self.inputs.iter().all(|i| i.stash.is_empty())
+    }
+
+    /// One forwarding pass: for every input, retry its stash, then (if the
+    /// stash cleared) drain one bounded batch from the ring, routing each
+    /// frame to its output. Returns the number of frames moved or polled —
+    /// 0 means the shard found no work anywhere.
+    pub fn pump(&mut self) -> usize {
+        let Self {
+            inputs,
+            outputs,
+            route,
+            stats,
+            ..
+        } = self;
+        let mut moved = 0;
+        for input in inputs.iter_mut() {
+            // Stash first, in arrival order. A still-full output blocks
+            // this whole input (wormhole-style): frames behind the head
+            // stay queued, and the upstream ring backs up behind them.
+            while let Some(st) = input.stash.front_mut() {
+                let ok = outputs[st.out].try_push_with(|slot| {
+                    slot[..st.len].copy_from_slice(&st.buf[..st.len]);
+                    st.len
+                });
+                if !ok {
+                    st.tries += 1;
+                    if st.tries >= STASH_RETRY_LIMIT {
+                        // The output never drained across hundreds of
+                        // pumps: its host is gone. Drop the frame instead
+                        // of letting a dead node head-of-line-block every
+                        // live flow sharing this input.
+                        input.stash.pop_front();
+                        stats.timed_out += 1;
+                        moved += 1;
+                        continue;
+                    }
+                    stats.stalled += 1;
+                    break;
+                }
+                input.stash.pop_front();
+                stats.forwarded += 1;
+                moved += 1;
+            }
+            if !input.stash.is_empty() {
+                continue;
+            }
+            let SwitchInput { ring, stash } = input;
+            moved += ring.poll_batch(WIRE_POLL_BATCH, |bytes| {
+                let out = WireFrame::peek_dst(bytes)
+                    .and_then(|dst| route.get(dst.index()).copied());
+                let Some(out) = out else {
+                    // Unpeekable or unroutable: drop it here; if it was a
+                    // corrupted data frame the sender's retransmission
+                    // timer recovers it.
+                    stats.dropped += 1;
+                    return;
+                };
+                let ok = outputs[out].try_push_with(|slot| {
+                    slot[..bytes.len()].copy_from_slice(bytes);
+                    bytes.len()
+                });
+                if ok {
+                    stats.forwarded += 1;
+                } else {
+                    let mut buf = [0u8; FM_FRAME_MAX];
+                    buf[..bytes.len()].copy_from_slice(bytes);
+                    stash.push_back(Stashed {
+                        out,
+                        len: bytes.len(),
+                        tries: 0,
+                        buf,
+                    });
+                }
+            });
+        }
+        moved
+    }
+}
+
+impl std::fmt::Debug for SwitchShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwitchShard")
+            .field("id", &self.id)
+            .field("inputs", &self.inputs.len())
+            .field("outputs", &self.outputs.len())
+            .field("stashed", &self.inputs.iter().map(|i| i.stash.len()).sum::<usize>())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// A switch-routed cluster: endpoints plus the shards that connect them.
+pub struct SwitchedCluster {
+    pub endpoints: Vec<MemEndpoint>,
+    pub shards: Vec<SwitchShard>,
+}
+
+impl SwitchedCluster {
+    /// Build endpoints and switch shards over `topo` with explicit sizing.
+    ///
+    /// # Panics
+    /// Like [`crate::mem::MemCluster::with_config`], if any of
+    /// `config.window`, `config.recv_ring`, `config.wire_ring` is zero.
+    pub fn new(topo: &SwitchTopology, config: EndpointConfig) -> Self {
+        assert!(config.window > 0, "window must be >= 1 frame");
+        assert!(config.recv_ring > 0, "recv_ring must be >= 1 frame");
+        assert!(config.wire_ring > 0, "wire_ring must be >= 1 frame");
+        let n = topo.hosts();
+        let nswitches = topo.switches();
+        let mut inputs: Vec<Vec<SwitchInput>> = (0..nswitches).map(|_| Vec::new()).collect();
+        let mut outputs: Vec<Vec<RingProducer>> = (0..nswitches).map(|_| Vec::new()).collect();
+        // Host wiring first, in host order: shard `s`'s outputs start with
+        // the downlinks of its hosts (ascending), trunks follow.
+        let mut down_idx = vec![0usize; n];
+        let mut endpoints = Vec::with_capacity(n);
+        for (h, di) in down_idx.iter_mut().enumerate() {
+            let s = topo.switch_of(NodeId(h as u16));
+            let (up_p, up_c) = spsc_ring(config.wire_ring);
+            let (down_p, down_c) = spsc_ring(config.wire_ring);
+            inputs[s].push(SwitchInput {
+                ring: up_c,
+                stash: VecDeque::new(),
+            });
+            *di = outputs[s].len();
+            outputs[s].push(down_p);
+            endpoints.push(MemEndpoint::new_switched(
+                NodeId(h as u16),
+                config,
+                up_p,
+                down_c,
+                n,
+            ));
+        }
+        // Trunks: one ring per direction, producer on the near shard (in
+        // neighbor order, right after the host downlinks), consumer on the
+        // far one.
+        let trunk_base: Vec<usize> = (0..nswitches).map(|s| outputs[s].len()).collect();
+        for (s, outs) in outputs.iter_mut().enumerate() {
+            for &nb in topo.neighbors_of(s) {
+                let (p, c) = spsc_ring(config.wire_ring);
+                outs.push(p);
+                inputs[nb].push(SwitchInput {
+                    ring: c,
+                    stash: VecDeque::new(),
+                });
+            }
+        }
+        let shards = inputs
+            .into_iter()
+            .zip(outputs)
+            .enumerate()
+            .map(|(s, (inputs, outputs))| {
+                let route = (0..n)
+                    .map(|dst| {
+                        let ds = topo.switch_of(NodeId(dst as u16));
+                        if ds == s {
+                            down_idx[dst]
+                        } else {
+                            let hop = topo.next_hop(s, ds);
+                            let pos = topo
+                                .neighbors_of(s)
+                                .iter()
+                                .position(|&x| x == hop)
+                                .expect("next hop is always a neighbor");
+                            trunk_base[s] + pos
+                        }
+                    })
+                    .collect();
+                SwitchShard {
+                    id: s,
+                    inputs,
+                    outputs,
+                    route,
+                    stats: SwitchStats::default(),
+                }
+            })
+            .collect();
+        SwitchedCluster { endpoints, shards }
+    }
+
+    /// Like [`SwitchedCluster::new`] with a seeded [`FaultInjector`]
+    /// decorating every endpoint's transmit path (the switched analogue of
+    /// [`crate::mem::MemCluster::with_faulty_fabric`]). Faults are applied
+    /// before the uplink, so corrupted frames traverse — and may be
+    /// misrouted by — the real shards.
+    pub fn with_faults(topo: &SwitchTopology, config: EndpointConfig, faults: FaultConfig) -> Self {
+        let mut cluster = Self::new(topo, config);
+        let n = cluster.endpoints.len();
+        for ep in &mut cluster.endpoints {
+            ep.set_fault_injector(FaultInjector::new(ep.node_id(), n, &faults));
+        }
+        cluster
+    }
+
+    /// One single-threaded drive round: every endpoint extracts, every
+    /// shard forwards. Returns handlers invoked + frames the shards moved,
+    /// so callers can loop until the whole cluster is quiet. The
+    /// deterministic harness the soak and property tests use.
+    pub fn drive_round(&mut self) -> usize {
+        let mut work = 0;
+        for ep in &mut self.endpoints {
+            work += ep.extract();
+        }
+        for shard in &mut self.shards {
+            work += shard.pump();
+        }
+        work
+    }
+
+    /// Split into parts for threaded runs (endpoints into a
+    /// [`crate::mem::ClusterRunner`], shards into a [`SwitchRunner`]).
+    pub fn split(self) -> (Vec<MemEndpoint>, Vec<SwitchShard>) {
+        (self.endpoints, self.shards)
+    }
+}
+
+/// Runs one forwarding thread per switch shard.
+///
+/// Start it before driving traffic; shut the *endpoints* down first (they
+/// quiesce only if frames still forward), then the switches.
+pub struct SwitchRunner {
+    stop: Arc<AtomicBool>,
+    handles: Vec<std::thread::JoinHandle<SwitchShard>>,
+}
+
+impl SwitchRunner {
+    pub fn start(shards: Vec<SwitchShard>) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles = shards
+            .into_iter()
+            .map(|mut shard| {
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        if shard.pump() == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                    // Final drain so trailing acks reach their endpoints.
+                    while shard.pump() > 0 {}
+                    shard
+                })
+            })
+            .collect();
+        SwitchRunner { stop, handles }
+    }
+
+    /// Stop and join the forwarding threads, returning the shards (in
+    /// switch order) for stats inspection.
+    pub fn shutdown(mut self, timeout: Duration) -> Result<Vec<SwitchShard>, ShutdownError> {
+        self.stop.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + timeout;
+        let mut out = Vec::with_capacity(self.handles.len());
+        for (i, handle) in self.handles.drain(..).enumerate() {
+            while !handle.is_finished() {
+                if Instant::now() >= deadline {
+                    return Err(ShutdownError::Timeout {
+                        node: NodeId(i as u16),
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            match handle.join() {
+                Ok(shard) => out.push(shard),
+                Err(_) => {
+                    return Err(ShutdownError::Panicked {
+                        node: NodeId(i as u16),
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for SwitchRunner {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handler::HandlerId;
+    use crate::mem::ClusterRunner;
+    use parking_lot::Mutex;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    fn drive_until(cluster: &mut SwitchedCluster, mut done: impl FnMut() -> bool) {
+        let mut guard = 0;
+        while !done() {
+            cluster.drive_round();
+            guard += 1;
+            assert!(guard < 100_000, "switched cluster wedged");
+        }
+        // Let trailing acks land so everyone quiesces.
+        for _ in 0..50 {
+            cluster.drive_round();
+        }
+    }
+
+    #[test]
+    fn single_switch_delivers_all_pairs() {
+        let topo = SwitchTopology::single(4, 8);
+        let mut cluster = SwitchedCluster::new(&topo, EndpointConfig::default());
+        let seen = Arc::new(Mutex::new(HashSet::new()));
+        for ep in &mut cluster.endpoints {
+            let seen = seen.clone();
+            let me = ep.node_id();
+            ep.register_handler_at(HandlerId(1), move |_, src, data| {
+                assert!(seen.lock().insert((src, me, data[0])), "duplicate");
+            });
+        }
+        for src in 0..4u16 {
+            for dst in 0..4u16 {
+                if src == dst {
+                    continue;
+                }
+                for k in 0..3u8 {
+                    cluster.endpoints[src as usize]
+                        .try_send(NodeId(dst), HandlerId(1), &[k])
+                        .unwrap();
+                }
+            }
+        }
+        drive_until(&mut cluster, || seen.lock().len() == 4 * 3 * 3);
+        for ep in &cluster.endpoints {
+            assert!(ep.is_quiescent(), "{ep:?}");
+        }
+        let forwarded: u64 = cluster.shards.iter().map(|s| s.stats.forwarded).sum();
+        assert!(forwarded >= 36, "every frame crossed the shard: {forwarded}");
+    }
+
+    #[test]
+    fn chain_routes_across_three_switches() {
+        // 6 hosts, 2 per switch: host 0 -> host 5 crosses two trunks.
+        let topo = SwitchTopology::chain(6, 2, 8);
+        let mut cluster = SwitchedCluster::new(&topo, EndpointConfig::default());
+        let got = Arc::new(AtomicU64::new(0));
+        let g = got.clone();
+        cluster.endpoints[5].register_handler_at(HandlerId(1), move |out, src, data| {
+            // Reply across the full chain so the return path is exercised.
+            g.fetch_add(data[0] as u64, Ordering::SeqCst);
+            out.send(src, HandlerId(2), vec![data[0] + 1]);
+        });
+        let echoed = Arc::new(AtomicU64::new(0));
+        let e = echoed.clone();
+        cluster.endpoints[0].register_handler_at(HandlerId(2), move |_, src, data| {
+            assert_eq!(src, NodeId(5));
+            e.fetch_add(data[0] as u64, Ordering::SeqCst);
+        });
+        cluster.endpoints[0]
+            .try_send(NodeId(5), HandlerId(1), &[21])
+            .unwrap();
+        drive_until(&mut cluster, || echoed.load(Ordering::SeqCst) == 22);
+        assert_eq!(got.load(Ordering::SeqCst), 21);
+        // Both middle trunks forwarded in both directions: every shard saw
+        // traffic (data + acks each way).
+        for shard in &cluster.shards {
+            assert!(shard.stats.forwarded > 0, "{shard:?}");
+            assert_eq!(shard.stats.dropped, 0);
+        }
+        assert_eq!(topo.hops(NodeId(0), NodeId(5)), 3);
+    }
+
+    #[test]
+    fn incast_overload_bounces_across_switch_and_stays_bounded() {
+        // 4 senders overload host 0 through one switch; the receiver's
+        // 4-frame ring forces return-to-sender bounces over the shard, and
+        // every sender's reject queue stays within its window.
+        let topo = SwitchTopology::single(5, 8);
+        let config = EndpointConfig {
+            window: 16,
+            recv_ring: 4,
+            retransmit_per_extract: 4,
+            ..Default::default()
+        };
+        let mut cluster = SwitchedCluster::new(&topo, config);
+        let seen = Arc::new(Mutex::new(HashSet::new()));
+        let s2 = seen.clone();
+        cluster.endpoints[0].register_handler_at(HandlerId(1), move |_, src, data| {
+            let v = u32::from_le_bytes(data.try_into().unwrap());
+            assert!(s2.lock().insert((src, v)), "duplicate delivery");
+        });
+        const PER_SENDER: u32 = 48;
+        let mut pending: Vec<u32> = vec![0; 5];
+        let mut peak = 0usize;
+        let mut guard = 0;
+        loop {
+            let mut all_sent = true;
+            for (src, p) in pending.iter_mut().enumerate().skip(1) {
+                while *p < PER_SENDER {
+                    let v = *p;
+                    match cluster.endpoints[src].try_send(
+                        NodeId(0),
+                        HandlerId(1),
+                        &v.to_le_bytes(),
+                    ) {
+                        Ok(()) => *p += 1,
+                        Err(_) => break,
+                    }
+                }
+                all_sent &= *p == PER_SENDER;
+                peak = peak.max(cluster.endpoints[src].outstanding());
+            }
+            // Slow receiver: tiny extract budget keeps it overloaded.
+            cluster.endpoints[0].extract_budget(2);
+            for src in 1..5 {
+                cluster.endpoints[src].service();
+            }
+            for shard in &mut cluster.shards {
+                shard.pump();
+            }
+            if all_sent && seen.lock().len() == 4 * PER_SENDER as usize {
+                break;
+            }
+            guard += 1;
+            assert!(guard < 100_000, "incast wedged: {:?}", cluster.shards[0]);
+        }
+        assert!(
+            cluster.endpoints[0].stats().rejected > 0,
+            "overload must bounce"
+        );
+        assert!(peak <= 16, "reject queue exceeded the window: {peak}");
+        assert_eq!(seen.lock().len(), 4 * PER_SENDER as usize);
+    }
+
+    #[test]
+    fn threaded_runners_pingpong_across_chain() {
+        let topo = SwitchTopology::chain(12, 6, 8);
+        let mut cluster = SwitchedCluster::new(&topo, EndpointConfig::default());
+        const ROUNDS: u64 = 100;
+        let done = Arc::new(AtomicU64::new(0));
+        // Host 11 echoes; host 0 counts.
+        {
+            let d = done.clone();
+            cluster.endpoints[11].register_handler_at(HandlerId(1), move |out, src, data| {
+                out.send(src, HandlerId(2), data.to_vec());
+                let _ = d.load(Ordering::Relaxed);
+            });
+            let d = done.clone();
+            cluster.endpoints[0].register_handler_at(HandlerId(2), move |_, _, _| {
+                d.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let (mut endpoints, shards) = cluster.split();
+        let switches = SwitchRunner::start(shards);
+        let mut ep0 = endpoints.remove(0);
+        let others = ClusterRunner::start(endpoints);
+        for i in 0..ROUNDS {
+            ep0.send(NodeId(11), HandlerId(1), &(i as u32).to_le_bytes());
+            while done.load(Ordering::SeqCst) <= i {
+                ep0.extract();
+                std::thread::yield_now();
+            }
+        }
+        // Drain trailing acks before shutting anything down.
+        for _ in 0..20 {
+            ep0.extract();
+            std::thread::yield_now();
+        }
+        let eps = others.shutdown(Duration::from_secs(10)).expect("endpoints join");
+        let shards = switches.shutdown(Duration::from_secs(10)).expect("switches join");
+        assert_eq!(done.load(Ordering::SeqCst), ROUNDS);
+        assert_eq!(ep0.stats().sent, ROUNDS);
+        assert!(eps.iter().all(|e| e.codec_errors == 0));
+        assert!(shards.iter().all(|s| s.stats.dropped == 0));
+    }
+
+    #[test]
+    fn tiny_rings_backpressure_through_the_shard() {
+        // 1-deep rings everywhere: the shard must stash and stall rather
+        // than drop, and everything still arrives exactly once.
+        let topo = SwitchTopology::chain(4, 2, 8);
+        let config = EndpointConfig {
+            wire_ring: 1,
+            ..Default::default()
+        };
+        let mut cluster = SwitchedCluster::new(&topo, config);
+        let seen = Arc::new(Mutex::new(HashSet::new()));
+        let s2 = seen.clone();
+        cluster.endpoints[3].register_handler_at(HandlerId(1), move |_, _, data| {
+            let v = u32::from_le_bytes(data.try_into().unwrap());
+            assert!(s2.lock().insert(v), "duplicate delivery of {v}");
+        });
+        // Phase 1: queue a burst while host 3 never extracts. Its 1-deep
+        // downlink fills after the first frame, so the far shard must
+        // stash-and-stall, the trunk backs up, and pressure reaches the
+        // sender's backlog — nothing may be dropped.
+        for i in 0..32u32 {
+            let _ = cluster.endpoints[0].try_send(NodeId(3), HandlerId(1), &i.to_le_bytes());
+        }
+        for _ in 0..20 {
+            cluster.endpoints[0].service();
+            for shard in &mut cluster.shards {
+                shard.pump();
+            }
+        }
+        let stalled: u64 = cluster.shards.iter().map(|s| s.stats.stalled).sum();
+        assert!(stalled > 0, "1-deep rings must have stalled the shard");
+        // Phase 2: let everyone run; the stalled frames drain through.
+        drive_until(&mut cluster, || seen.lock().len() == 32);
+        assert_eq!(seen.lock().len(), 32);
+        assert!(cluster.shards.iter().all(|s| s.stats.dropped == 0));
+    }
+
+    #[test]
+    fn dead_host_ages_out_of_the_stash_instead_of_wedging_the_input() {
+        // Hosts 2 and 3 share switch 1; host 3 is dead (never extracts)
+        // and its downlink is 1-deep, so frames bound for it park in the
+        // shard's stash and head-of-line-block the trunk — including a
+        // frame for the perfectly live host 2 queued behind them. The
+        // stash age-out must drop the dead host's frames so host 2's
+        // message still arrives and the sender declares host 3 dead.
+        let topo = SwitchTopology::chain(4, 2, 8);
+        let config = EndpointConfig {
+            window: 16,
+            recv_ring: 16,
+            wire_ring: 1,
+            rto_initial: 8,
+            rto_max: 64,
+            retry_budget: 4,
+            ..Default::default()
+        };
+        let mut cluster = SwitchedCluster::new(&topo, config);
+        let seen = Arc::new(AtomicU64::new(0));
+        let s2 = seen.clone();
+        cluster.endpoints[2].register_handler_at(HandlerId(1), move |_, src, _| {
+            assert_eq!(src, NodeId(0));
+            s2.fetch_add(1, Ordering::SeqCst);
+        });
+        for i in 0..4u32 {
+            cluster.endpoints[0]
+                .try_send(NodeId(3), HandlerId(1), &i.to_le_bytes())
+                .unwrap();
+        }
+        cluster.endpoints[0]
+            .try_send(NodeId(2), HandlerId(1), &99u32.to_le_bytes())
+            .unwrap();
+        let mut guard = 0;
+        while seen.load(Ordering::SeqCst) < 1 || !cluster.endpoints[0].is_peer_dead(NodeId(3)) {
+            cluster.endpoints[0].extract();
+            cluster.endpoints[1].extract();
+            cluster.endpoints[2].extract();
+            // Host 3 is never driven.
+            for shard in &mut cluster.shards {
+                shard.pump();
+            }
+            guard += 1;
+            assert!(
+                guard < 200_000,
+                "dead host wedged the fabric: {:?}",
+                cluster.shards[1]
+            );
+        }
+        let timed_out: u64 = cluster.shards.iter().map(|s| s.stats.timed_out).sum();
+        assert!(timed_out > 0, "dead host's frames must age out of the stash");
+        assert_eq!(seen.load(Ordering::SeqCst), 1);
+    }
+}

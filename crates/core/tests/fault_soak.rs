@@ -10,7 +10,7 @@
 
 use fm_core::{
     ClusterRunner, EndpointConfig, EndpointStats, FabricKind, FaultConfig, FaultStats, HandlerId,
-    MemCluster, MemEndpoint, NodeId, SendError,
+    MemCluster, MemEndpoint, NodeId, SendError, SwitchTopology, SwitchedCluster,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -366,6 +366,223 @@ fn cluster_shutdown_joins_under_inflight_traffic() {
     let sent: u64 = nodes.iter().map(|n| n.stats().sent).sum();
     assert!(sent > after, "relays keep resending: {sent} vs {after}");
     let _ = outstanding; // in-flight state at shutdown is legal, not asserted
+}
+
+/// Switch-routed soak: 16 endpoints spanning three switches, every
+/// transmit path under 5% uniform faults (drop / duplicate / corrupt /
+/// delay), every node streaming to a peer five hosts away so most streams
+/// cross at least one trunk. Exactly-once, in-order-per-source delivery
+/// must survive both the faults *and* the store-and-forward fabric, and
+/// the whole cluster must quiesce afterwards.
+#[test]
+fn switched_soak_16_endpoints_5pct_faults_exactly_once() {
+    const N: usize = 16;
+    const MSGS: u32 = 400;
+    let topo = SwitchTopology::for_cluster(N);
+    assert!(topo.switches() > 1, "16 hosts must span multiple switches");
+    let mut cluster = SwitchedCluster::with_faults(
+        &topo,
+        soak_config(),
+        FaultConfig::uniform(0x51AB_F00D, 0.05),
+    );
+
+    // Stream map i -> (i + 5) % 16: a bijection, so every node receives
+    // exactly one stream and the in-order check below covers per-source
+    // ordering end to end.
+    let dst_of = |i: usize| (i + 5) % N;
+    let got: Arc<Mutex<Vec<Vec<u32>>>> = Arc::new(Mutex::new(vec![Vec::new(); N]));
+    let delivered = Arc::new(AtomicU64::new(0));
+    for (i, ep) in cluster.endpoints.iter_mut().enumerate() {
+        let got = got.clone();
+        let delivered = delivered.clone();
+        let expect_src = NodeId(((i + N - 5) % N) as u16);
+        ep.register_handler_at(HandlerId(1), move |_, src, data| {
+            assert_eq!(src, expect_src, "stream map is a bijection");
+            got.lock()[i].push(u32::from_le_bytes(data.try_into().unwrap()));
+            delivered.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+
+    let total = (N as u64) * MSGS as u64;
+    let mut next = [0u32; N];
+    let mut iters = 0usize;
+    loop {
+        iters += 1;
+        assert!(
+            iters < SOAK_ITER_CAP,
+            "switched soak wedged at {}/{total} delivered",
+            delivered.load(Ordering::Relaxed)
+        );
+        let mut all_sent = true;
+        for (i, nx) in next.iter_mut().enumerate() {
+            while *nx < MSGS {
+                match cluster.endpoints[i].try_send(
+                    NodeId(dst_of(i) as u16),
+                    HandlerId(1),
+                    &nx.to_le_bytes(),
+                ) {
+                    Ok(()) => *nx += 1,
+                    Err(SendError::WouldBlock) => break,
+                    Err(e) => panic!("node {i}: {e}"),
+                }
+            }
+            all_sent &= *nx == MSGS;
+        }
+        cluster.drive_round();
+        if all_sent && delivered.load(Ordering::Relaxed) == total {
+            break;
+        }
+    }
+    // Quiesce: trailing acks, retransmits and delayed frames all land.
+    let mut settle = 0usize;
+    while !(cluster.endpoints.iter().all(|e| e.is_quiescent())
+        && cluster.shards.iter().all(|s| s.is_idle()))
+    {
+        cluster.drive_round();
+        settle += 1;
+        assert!(settle < SOAK_ITER_CAP, "cluster never quiesced");
+    }
+
+    let got = got.lock();
+    for (i, stream) in got.iter().enumerate() {
+        assert_eq!(stream.len(), MSGS as usize, "node {i} delivery count");
+        for (k, &v) in stream.iter().enumerate() {
+            assert_eq!(v, k as u32, "node {i} out of order at {k}");
+        }
+    }
+    let injected: u64 = cluster
+        .endpoints
+        .iter()
+        .map(|e| {
+            let f = e.fault_stats().expect("injector attached");
+            f.dropped + f.duplicated + f.corrupted + f.delayed
+        })
+        .sum();
+    assert!(injected > 100, "5% over {total} sends must fire often: {injected}");
+    let retransmitted: u64 = cluster
+        .endpoints
+        .iter()
+        .map(|e| e.stats().retransmitted)
+        .sum();
+    assert!(retransmitted > 0, "drops must be recovered by timers");
+}
+
+/// Dead-peer isolation at switch scale: one of 16 hosts is stalled (its
+/// inbound links blackhole) and never driven, while the other 15 stream
+/// through the same switches. The senders to the dead host must burn
+/// their retry budget and fail fast with [`SendError::PeerUnreachable`];
+/// every live stream must complete exactly once and in order; nothing may
+/// wedge.
+#[test]
+fn switched_dead_node_does_not_wedge_the_other_15() {
+    const N: usize = 16;
+    const DEAD: usize = 11; // last host on the middle switch
+    const MSGS: u32 = 200;
+    let cfg = EndpointConfig {
+        window: 16,
+        recv_ring: 16,
+        rto_initial: 8,
+        rto_max: 64,
+        retry_budget: 4,
+        ..Default::default()
+    };
+    let topo = SwitchTopology::for_cluster(N);
+    let faults = FaultConfig::new(99).stall(NodeId(DEAD as u16));
+    let mut cluster = SwitchedCluster::with_faults(&topo, cfg, faults);
+
+    // Live streams: i -> next live host (skipping the dead one). Still
+    // injective over live nodes, so each receiver sees one source.
+    let dst_of = |i: usize| {
+        let d = (i + 1) % N;
+        if d == DEAD {
+            (i + 2) % N
+        } else {
+            d
+        }
+    };
+    let got: Arc<Mutex<Vec<Vec<u32>>>> = Arc::new(Mutex::new(vec![Vec::new(); N]));
+    let delivered = Arc::new(AtomicU64::new(0));
+    for (i, ep) in cluster.endpoints.iter_mut().enumerate() {
+        let got = got.clone();
+        let delivered = delivered.clone();
+        ep.register_handler_at(HandlerId(1), move |_, _, data| {
+            got.lock()[i].push(u32::from_le_bytes(data.try_into().unwrap()));
+            delivered.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+
+    // Optimistic sends toward the dead host occupy window slots until the
+    // retry budget gives up on them.
+    for _ in 0..4 {
+        cluster.endpoints[DEAD - 1]
+            .try_send(NodeId(DEAD as u16), HandlerId(1), b"any\0")
+            .unwrap();
+    }
+
+    let total = (N as u64 - 1) * MSGS as u64;
+    let mut next = [0u32; N];
+    let mut iters = 0usize;
+    loop {
+        iters += 1;
+        assert!(
+            iters < SOAK_ITER_CAP,
+            "dead node wedged the cluster at {}/{total} delivered",
+            delivered.load(Ordering::Relaxed)
+        );
+        let mut all_sent = true;
+        for i in (0..N).filter(|&i| i != DEAD) {
+            while next[i] < MSGS {
+                match cluster.endpoints[i].try_send(
+                    NodeId(dst_of(i) as u16),
+                    HandlerId(1),
+                    &next[i].to_le_bytes(),
+                ) {
+                    Ok(()) => next[i] += 1,
+                    Err(SendError::WouldBlock) => break,
+                    Err(e) => panic!("live node {i}: {e}"),
+                }
+            }
+            all_sent &= next[i] == MSGS;
+        }
+        for i in (0..N).filter(|&i| i != DEAD) {
+            cluster.endpoints[i].extract(); // the dead host is never driven
+        }
+        for shard in &mut cluster.shards {
+            shard.pump();
+        }
+        if all_sent
+            && delivered.load(Ordering::Relaxed) == total
+            && cluster.endpoints[DEAD - 1].is_peer_dead(NodeId(DEAD as u16))
+        {
+            break;
+        }
+    }
+
+    // The sender next to the dead host failed fast...
+    assert!(cluster.endpoints[DEAD - 1].stats().unreachable_drops > 0);
+    assert_eq!(
+        cluster.endpoints[DEAD - 1].try_send(NodeId(DEAD as u16), HandlerId(1), b"gone"),
+        Err(SendError::PeerUnreachable(NodeId(DEAD as u16)))
+    );
+    // ...and no live peer was mistaken for dead anywhere.
+    for i in (0..N).filter(|&i| i != DEAD) {
+        assert!(
+            !cluster.endpoints[i].is_peer_dead(NodeId(dst_of(i) as u16)),
+            "node {i} wrongly declared its live peer dead"
+        );
+    }
+    let got = got.lock();
+    for (i, stream) in got.iter().enumerate() {
+        if i == DEAD {
+            assert!(stream.is_empty(), "the dead host extracted nothing");
+            continue;
+        }
+        // The skip map routes exactly one live stream to every live node.
+        assert_eq!(stream.len(), MSGS as usize, "node {i} delivery count");
+        for (k, &v) in stream.iter().enumerate() {
+            assert_eq!(v, k as u32, "node {i} out of order at {k}");
+        }
+    }
 }
 
 /// Dropping the runner (instead of calling `shutdown`) must also stop and

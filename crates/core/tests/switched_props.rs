@@ -1,0 +1,197 @@
+//! Property tests for the switch-routed runtime.
+//!
+//! Two invariants the unit tests can only spot-check:
+//!
+//! * over a *random* tree of switches, any set of (src, dst) streams is
+//!   delivered exactly once and in order per source — the BFS route
+//!   tables, store-and-forward stashes and per-source sequence windows
+//!   compose correctly on every topology, not just the ones we drew by
+//!   hand;
+//! * incast with a random sender count K and random window/ring sizing
+//!   keeps every sender's reject queue within its window — the paper's
+//!   Section 4.5 claim that sender memory is bounded by *outstanding*
+//!   packets, independent of cluster size or contention.
+//!
+//! Each case is a full deterministic cluster run, so cases are kept small
+//! (≤ 12 hosts, tens of messages per stream) to stay fast at the default
+//! 64 cases.
+
+use fm_core::{EndpointConfig, HandlerId, NodeId, SwitchTopology, SwitchedCluster};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Per-stream delivery log: (src, dst) → payload sequence as received.
+type StreamLog = Arc<Mutex<HashMap<(u16, u16), Vec<u32>>>>;
+
+/// Generous port count so no drawn topology trips the oversubscription
+/// check: at most 4 switches (≤ 3 trunks) and ≤ 12 hosts fit in 16 ports.
+const PORTS: usize = 16;
+
+/// A random tree: switch `s > 0` attaches to a random earlier switch (so
+/// the trunk set is always a spanning tree), every switch hosts at least
+/// one endpoint, and the extra hosts scatter wherever their pick lands.
+fn random_topology(switches: usize, parent_picks: &[u64], extra_hosts: &[u64]) -> SwitchTopology {
+    let mut host_switch: Vec<usize> = (0..switches).collect();
+    for &p in extra_hosts {
+        host_switch.push(p as usize % switches);
+    }
+    let trunks: Vec<(usize, usize)> = (1..switches)
+        .map(|s| (parent_picks[s - 1] as usize % s, s))
+        .collect();
+    SwitchTopology::custom(host_switch, trunks, PORTS)
+}
+
+proptest! {
+    #[test]
+    fn random_tree_delivers_every_stream_in_order(
+        switches in 1usize..=4,
+        parent_picks in proptest::collection::vec(0u64..1_000_000, 3),
+        extra_hosts in proptest::collection::vec(0u64..1_000_000, 0..=8),
+        pair_picks in proptest::collection::vec(0u64..1_000_000, 1..=6),
+    ) {
+        const MSGS: u32 = 24;
+        let topo = random_topology(switches, &parent_picks, &extra_hosts);
+        let n = topo.hosts();
+        if n < 2 {
+            return Ok(()); // a 1-host tree has no streams to check
+        }
+        // Derive (src, dst) streams from the picks; dst lands anywhere
+        // but src. Duplicate pairs collapse to one stream.
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for &p in &pair_picks {
+            let src = p as usize % n;
+            let dst = (src + 1 + (p as usize >> 16) % (n - 1)) % n;
+            if !pairs.contains(&(src, dst)) {
+                pairs.push((src, dst));
+            }
+        }
+        let mut cluster = SwitchedCluster::new(&topo, EndpointConfig::default());
+        let got: StreamLog = Arc::new(Mutex::new(HashMap::new()));
+        for ep in &mut cluster.endpoints {
+            let got = got.clone();
+            let me = ep.node_id();
+            ep.register_handler_at(HandlerId(1), move |_, src, data| {
+                got.lock()
+                    .entry((src.0, me.0))
+                    .or_default()
+                    .push(u32::from_le_bytes(data.try_into().unwrap()));
+            });
+        }
+        let total = pairs.len() * MSGS as usize;
+        let mut next = vec![0u32; pairs.len()];
+        let mut iters = 0usize;
+        loop {
+            iters += 1;
+            prop_assert!(iters < 50_000, "random tree wedged: {topo:?}");
+            let mut all_sent = true;
+            for (pi, &(src, dst)) in pairs.iter().enumerate() {
+                while next[pi] < MSGS {
+                    match cluster.endpoints[src].try_send(
+                        NodeId(dst as u16),
+                        HandlerId(1),
+                        &next[pi].to_le_bytes(),
+                    ) {
+                        Ok(()) => next[pi] += 1,
+                        Err(_) => break,
+                    }
+                }
+                all_sent &= next[pi] == MSGS;
+            }
+            cluster.drive_round();
+            if all_sent && got.lock().values().map(Vec::len).sum::<usize>() == total {
+                break;
+            }
+        }
+        let got = got.lock();
+        prop_assert!(got.len() == pairs.len(), "stream count {} != {}", got.len(), pairs.len());
+        for (&(src, dst), stream) in got.iter() {
+            prop_assert!(
+                stream.len() == MSGS as usize,
+                "stream {src}->{dst} delivered {} of {MSGS}", stream.len()
+            );
+            for (k, &v) in stream.iter().enumerate() {
+                prop_assert!(v == k as u32, "stream {src}->{dst} out of order at {k}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn incast_reject_queue_bounded_for_any_k(
+        k in 1usize..=10,
+        window in 4usize..=32,
+        recv_ring in 2usize..=8,
+    ) {
+        const PER_SENDER: u32 = 40;
+        let topo = SwitchTopology::for_cluster(k + 1);
+        let config = EndpointConfig {
+            window,
+            recv_ring,
+            retransmit_per_extract: 4,
+            ..Default::default()
+        };
+        let mut cluster = SwitchedCluster::new(&topo, config);
+        let got: Arc<Mutex<HashMap<u16, Vec<u32>>>> = Arc::new(Mutex::new(HashMap::new()));
+        let g = got.clone();
+        cluster.endpoints[0].register_handler_at(HandlerId(1), move |_, src, data| {
+            g.lock()
+                .entry(src.0)
+                .or_default()
+                .push(u32::from_le_bytes(data.try_into().unwrap()));
+        });
+        let total = k * PER_SENDER as usize;
+        let mut next = vec![0u32; k + 1];
+        let mut peak = 0usize;
+        let mut iters = 0usize;
+        loop {
+            iters += 1;
+            prop_assert!(iters < 100_000, "incast k={k} wedged");
+            let mut all_sent = true;
+            for (src, nx) in next.iter_mut().enumerate().skip(1) {
+                while *nx < PER_SENDER {
+                    match cluster.endpoints[src].try_send(
+                        NodeId(0),
+                        HandlerId(1),
+                        &nx.to_le_bytes(),
+                    ) {
+                        Ok(()) => *nx += 1,
+                        Err(_) => break,
+                    }
+                }
+                all_sent &= *nx == PER_SENDER;
+                // The invariant under test: however many senders pile on
+                // and however small the receiver's ring, no sender ever
+                // holds more than its window of reject-queue slots.
+                peak = peak.max(cluster.endpoints[src].outstanding());
+                prop_assert!(
+                    cluster.endpoints[src].outstanding() <= window,
+                    "sender {src} reject queue {} > window {window}",
+                    cluster.endpoints[src].outstanding()
+                );
+            }
+            // Starved receiver keeps the overload (and bounces) going.
+            cluster.endpoints[0].extract_budget(2);
+            for src in 1..=k {
+                cluster.endpoints[src].service();
+            }
+            for shard in &mut cluster.shards {
+                shard.pump();
+            }
+            if all_sent && got.lock().values().map(Vec::len).sum::<usize>() == total {
+                break;
+            }
+        }
+        prop_assert!(peak <= window, "peak {peak} > window {window}");
+        let got = got.lock();
+        for (src, stream) in got.iter() {
+            prop_assert!(
+                stream.len() == PER_SENDER as usize,
+                "sender {src} delivered {} of {PER_SENDER}", stream.len()
+            );
+            for (i, &v) in stream.iter().enumerate() {
+                prop_assert!(v == i as u32, "sender {src} out of order at {i}: {v}");
+            }
+        }
+    }
+}

@@ -20,12 +20,14 @@ pub mod consts;
 pub mod network;
 pub mod packet;
 pub mod switch;
+pub mod topology;
 
 pub use chain::ChainNetwork;
 pub use consts::*;
 pub use network::{DeliveredPacket, Network, NetworkConfig};
 pub use packet::{NodeId, Packet};
 pub use switch::Switch;
+pub use topology::SwitchTopology;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,280 @@
+//! Switch topology as a *routing structure* — the static map the live
+//! cluster runtime (`fm-core::switched`) routes frames over, as opposed to
+//! the timing models in [`crate::switch`] and [`crate::chain`].
+//!
+//! A topology is a set of crossbar switches, an assignment of hosts to
+//! switches, and a set of trunk links between switches that must form a
+//! tree. The tree restriction mirrors how Myrinet installations were
+//! actually cabled for source routing (the paper's cluster was a single
+//! 8-port switch; larger sites daisy-chained or treed them): it gives every
+//! (src, dst) pair exactly one path, which keeps wormhole-style
+//! store-and-forward deadlock-free — backpressure can never cycle.
+//!
+//! [`SwitchTopology::next_hop`] is the per-switch route table: for any
+//! destination host, which neighbouring switch (or local host port) the
+//! frame leaves through. It is precomputed by BFS from every switch, so
+//! lookups on the forwarding path are a single index.
+
+use crate::packet::NodeId;
+
+/// A static switch fabric: hosts attached to switches, switches joined by
+/// trunk links forming a tree.
+#[derive(Debug, Clone)]
+pub struct SwitchTopology {
+    /// `host_switch[h]` = index of the switch host `h` hangs off.
+    host_switch: Vec<usize>,
+    /// Trunk links `(a, b)` with `a < b`; exactly `switches - 1` of them
+    /// (a tree).
+    trunks: Vec<(usize, usize)>,
+    /// `neighbors[s]` = switches adjacent to `s` via a trunk.
+    neighbors: Vec<Vec<usize>>,
+    /// `next_hop[s][d]` = the neighbour of switch `s` on the unique path
+    /// toward switch `d` (`s` itself when `s == d`).
+    next_hop: Vec<Vec<usize>>,
+    /// Ports available on every switch (hosts + trunks must fit).
+    ports: usize,
+}
+
+impl SwitchTopology {
+    /// Build a topology from an explicit host→switch assignment and trunk
+    /// list. The general constructor the property tests drive with random
+    /// trees; [`SwitchTopology::single`] and [`SwitchTopology::chain`] are
+    /// the common shapes.
+    ///
+    /// # Panics
+    /// If there are no hosts, a host references a missing switch, the
+    /// trunks do not form a tree over all switches (wrong count, self-loop,
+    /// duplicate, or disconnected), or any switch needs more than `ports`
+    /// ports for its hosts plus trunks.
+    pub fn custom(host_switch: Vec<usize>, trunks: Vec<(usize, usize)>, ports: usize) -> Self {
+        assert!(!host_switch.is_empty(), "a topology needs at least one host");
+        let nswitches = host_switch.iter().copied().max().unwrap() + 1;
+        assert!(
+            trunks.len() == nswitches - 1,
+            "a tree over {nswitches} switches needs exactly {} trunks, got {}",
+            nswitches - 1,
+            trunks.len()
+        );
+        let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); nswitches];
+        for &(a, b) in &trunks {
+            assert!(a != b, "trunk self-loop on switch {a}");
+            assert!(a < nswitches && b < nswitches, "trunk ({a},{b}) out of range");
+            assert!(
+                !neighbors[a].contains(&b),
+                "duplicate trunk between switches {a} and {b}"
+            );
+            neighbors[a].push(b);
+            neighbors[b].push(a);
+        }
+        // Port budget: every host port plus every trunk port must fit.
+        for (s, nbs) in neighbors.iter().enumerate() {
+            let hosts_here = host_switch.iter().filter(|&&hs| hs == s).count();
+            let need = hosts_here + nbs.len();
+            assert!(
+                need <= ports,
+                "switch {s} needs {need} ports ({hosts_here} hosts + {} trunks) > {ports}",
+                nbs.len()
+            );
+        }
+        // BFS from every switch gives the next-hop table and proves
+        // connectivity (tree edge count + connected = tree).
+        let mut next_hop = vec![vec![usize::MAX; nswitches]; nswitches];
+        for (root, row) in next_hop.iter_mut().enumerate() {
+            row[root] = root;
+            let mut queue = std::collections::VecDeque::from([root]);
+            let mut seen = vec![false; nswitches];
+            seen[root] = true;
+            // first_step[s] = the neighbour of `root` the path to `s` uses.
+            while let Some(s) = queue.pop_front() {
+                for &nb in &neighbors[s] {
+                    if !seen[nb] {
+                        seen[nb] = true;
+                        row[nb] = if s == root { nb } else { row[s] };
+                        queue.push_back(nb);
+                    }
+                }
+            }
+            assert!(
+                seen.iter().all(|&v| v),
+                "trunks do not connect all {nswitches} switches"
+            );
+        }
+        SwitchTopology {
+            host_switch,
+            trunks,
+            neighbors,
+            next_hop,
+            ports,
+        }
+    }
+
+    /// All hosts on one switch — the paper's own testbed shape.
+    ///
+    /// # Panics
+    /// If `hosts` exceeds `ports` (or is zero).
+    pub fn single(hosts: usize, ports: usize) -> Self {
+        Self::custom(vec![0; hosts], Vec::new(), ports)
+    }
+
+    /// A daisy chain: `hosts_per_switch` hosts per switch, neighbouring
+    /// switches trunked — the same shape as [`crate::chain::ChainNetwork`].
+    ///
+    /// # Panics
+    /// If a middle switch would need more than `ports` ports
+    /// (`hosts_per_switch + 2`).
+    pub fn chain(hosts: usize, hosts_per_switch: usize, ports: usize) -> Self {
+        assert!(hosts >= 1 && hosts_per_switch >= 1);
+        let host_switch = (0..hosts).map(|h| h / hosts_per_switch).collect();
+        let nswitches = hosts.div_ceil(hosts_per_switch);
+        let trunks = (0..nswitches.saturating_sub(1)).map(|s| (s, s + 1)).collect();
+        Self::custom(host_switch, trunks, ports)
+    }
+
+    /// The smallest standard topology for `n` hosts: one 8-port switch
+    /// while they fit, a chain of 8-port switches (6 hosts each) beyond.
+    pub fn for_cluster(n: usize) -> Self {
+        if n <= 8 {
+            Self::single(n, 8)
+        } else {
+            Self::chain(n, 6, 8)
+        }
+    }
+
+    pub fn hosts(&self) -> usize {
+        self.host_switch.len()
+    }
+
+    pub fn switches(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// The trunk list (each `(a, b)` with `a < b` after normalization is
+    /// *not* guaranteed; pairs are as given to the constructor).
+    pub fn trunks(&self) -> &[(usize, usize)] {
+        &self.trunks
+    }
+
+    /// Which switch a host hangs off.
+    pub fn switch_of(&self, host: NodeId) -> usize {
+        self.host_switch[host.index()]
+    }
+
+    /// Hosts attached to a switch, in node order.
+    pub fn hosts_on(&self, switch: usize) -> impl Iterator<Item = NodeId> + '_ {
+        self.host_switch
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &s)| s == switch)
+            .map(|(h, _)| NodeId(h as u16))
+    }
+
+    /// Switches adjacent to `switch` via a trunk.
+    pub fn neighbors_of(&self, switch: usize) -> &[usize] {
+        &self.neighbors[switch]
+    }
+
+    /// The neighbouring switch the unique path from `from` toward
+    /// the switch `to_switch` goes through (`from` itself if equal).
+    pub fn next_hop(&self, from: usize, to_switch: usize) -> usize {
+        self.next_hop[from][to_switch]
+    }
+
+    /// Switch traversals on the path between two hosts (1 when they share
+    /// a switch, matching [`crate::chain::ChainNetwork::hops`]).
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> usize {
+        let (mut s, d) = (self.switch_of(src), self.switch_of(dst));
+        let mut hops = 1;
+        while s != d {
+            s = self.next_hop(s, d);
+            hops += 1;
+        }
+        hops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_switch_routes_locally() {
+        let t = SwitchTopology::single(8, 8);
+        assert_eq!(t.switches(), 1);
+        assert_eq!(t.hops(NodeId(0), NodeId(7)), 1);
+        assert_eq!(t.next_hop(0, 0), 0);
+        assert_eq!(t.hosts_on(0).count(), 8);
+    }
+
+    #[test]
+    fn chain_matches_chain_network_hops() {
+        let t = SwitchTopology::chain(12, 4, 8);
+        let net = crate::chain::ChainNetwork::new(12, 4, 8);
+        for s in 0..12u16 {
+            for d in 0..12u16 {
+                if s == d {
+                    continue;
+                }
+                assert_eq!(
+                    t.hops(NodeId(s), NodeId(d)),
+                    net.hops(NodeId(s), NodeId(d)),
+                    "hops({s},{d})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chain_next_hop_walks_toward_destination() {
+        let t = SwitchTopology::chain(18, 6, 8);
+        assert_eq!(t.switches(), 3);
+        assert_eq!(t.next_hop(0, 2), 1);
+        assert_eq!(t.next_hop(1, 2), 2);
+        assert_eq!(t.next_hop(2, 0), 1);
+    }
+
+    #[test]
+    fn custom_star_routes_through_hub() {
+        // Switch 0 is a hub with one host; leaves 1..=3 hold the rest.
+        let t = SwitchTopology::custom(
+            vec![0, 1, 1, 2, 2, 3, 3],
+            vec![(0, 1), (0, 2), (0, 3)],
+            8,
+        );
+        assert_eq!(t.next_hop(1, 3), 0);
+        assert_eq!(t.next_hop(0, 3), 3);
+        assert_eq!(t.hops(NodeId(1), NodeId(5)), 3);
+        assert_eq!(t.hops(NodeId(1), NodeId(2)), 1);
+    }
+
+    #[test]
+    fn for_cluster_picks_standard_shapes() {
+        assert_eq!(SwitchTopology::for_cluster(8).switches(), 1);
+        let big = SwitchTopology::for_cluster(64);
+        assert_eq!(big.switches(), 11);
+        assert_eq!(big.ports(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "ports")]
+    fn over_subscribed_switch_rejected() {
+        SwitchTopology::single(9, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "trunks")]
+    fn disconnected_forest_rejected() {
+        // Two switches, zero trunks: wrong edge count for a tree.
+        SwitchTopology::custom(vec![0, 1], Vec::new(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "connect")]
+    fn cyclic_non_tree_rejected() {
+        // 4 switches, 3 edges, but one is a cycle leaving switch 3 adrift.
+        SwitchTopology::custom(vec![0, 1, 2, 3], vec![(0, 1), (1, 2), (2, 0)], 8);
+    }
+}
