@@ -1,31 +1,41 @@
 //! Switch-scale gate: aggregate bandwidth + tail latency vs cluster size,
-//! and reject-queue boundedness under incast, on the live switched runtime.
+//! incast fairness and reject-queue boundedness, and the multi-trunk
+//! capacity win, on the live switched runtime.
 //!
-//! Runs clusters of 2→64 endpoints (`--smoke`: 2→8) through
-//! `fm_core::SwitchedCluster` — real threads, real SPSC rings, frames
-//! store-and-forwarded through switch shards — and emits
-//! `BENCH_scaling.json` with three sections:
+//! Runs clusters of 2→64 endpoints (`--smoke`: 2→8 for the wall-clock
+//! sweep) through `fm_core::SwitchedCluster` — real threads, real SPSC
+//! rings, frames store-and-forwarded through switch shards wired as the
+//! fat-tree `SwitchTopology::for_cluster_wide` — and emits
+//! `BENCH_scaling.json` with four sections:
 //!
 //! * `points`  — per cluster size: disjoint-pair aggregate bandwidth
-//!   (wall-clock), pingpong p50/p99 one-way latency between the two
-//!   most distant hosts, and the hop count between them;
+//!   (wall-clock, best of three runs), pingpong p50/p99 one-way latency
+//!   between the two most distant hosts, and the hop count between them;
 //! * `incast`  — per sender count K: every sender's peak reject-queue
-//!   occupancy while overloading one receiver, plus receiver bounces;
-//! * `gate`    — the paper-backed assertions (Section 4.5): aggregate
-//!   bandwidth non-decreasing from 2 to 16 endpoints, every reject queue
-//!   bounded by its window, and the peak occupancy *constant in K* —
-//!   sender memory must not grow with cluster size or contention.
+//!   occupancy while overloading one receiver, receiver bounces, and
+//!   Jain-fairness over per-sender completion rates (deterministic:
+//!   single-threaded drive);
+//! * `trunks`  — deterministic drive-round counts for 8 all-crossing
+//!   flows over 1 vs 4 parallel trunks, and the resulting speedup;
+//! * `gate`    — the assertions, with `enforced_gates` naming which ones
+//!   fail the run. Deterministic gates (reject bounds, incast fairness,
+//!   trunk speedup) are enforced even under `--smoke`: they are exact
+//!   protocol properties, not timing measurements, so CI noise is no
+//!   excuse. The wall-clock monotonicity gate is enforced only on full
+//!   runs, with a 15% allowance and best-of-3 points to shed scheduler
+//!   noise (a single-measurement n=8 dip shipped a red gate once).
 //!
-//! Like `bench_gate`, `--smoke` reports the same JSON with
-//! `"enforced": false` and never fails: wall-clock bandwidth on a loaded
-//! CI box is not a stable gate signal. Full runs enforce and exit 1.
+//! Exit status is 1 whenever any *enforced* gate is false — in both
+//! modes — so the CI smoke job cannot stay green past a regression.
 
 use fm_core::{
     ClusterRunner, EndpointConfig, HandlerId, NodeId, SwitchRunner, SwitchTopology,
     SwitchedCluster,
 };
 use fm_telemetry::Histogram;
-use fm_testbed::scaling::{incast_config, live_incast, live_parallel_pairs, LIVE_MSG_BYTES};
+use fm_testbed::scaling::{
+    incast_config, live_incast, live_parallel_pairs, rounds_cross_pairs, LIVE_MSG_BYTES,
+};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -35,6 +45,16 @@ fn usage() -> ! {
     eprintln!("usage: bench_scaling [--smoke] [--out PATH]");
     std::process::exit(2);
 }
+
+/// Incast fairness floor at the highest K (the ROADMAP target).
+const FAIRNESS_FLOOR: f64 = 0.8;
+/// Required deterministic round-count speedup of 4 trunks over 1. The
+/// flow hash spreads 8 flows [4,1,1,2] over 4 trunks, so the busiest
+/// trunk carries half the single-trunk load: the exact speedup is 2.0,
+/// and anything under 1.5 means trunk selection stopped spreading.
+const TRUNK_SPEEDUP_FLOOR: f64 = 1.5;
+/// Wall-clock monotonicity allowance per size step.
+const MONOTONE_ALLOWANCE: f64 = 0.85;
 
 struct SizePoint {
     n: usize,
@@ -57,7 +77,7 @@ struct IncastPoint {
 /// One-way latency percentiles for a pingpong between host 0 and the most
 /// distant host of an `n`-endpoint switched cluster.
 fn switched_pingpong(n: usize, warmup: u64, rounds: u64) -> (f64, f64, usize) {
-    let topo = SwitchTopology::for_cluster(n);
+    let topo = SwitchTopology::for_cluster_wide(n);
     let far = NodeId((n - 1) as u16);
     let hops = topo.hops(NodeId(0), far);
     let mut cluster = SwitchedCluster::new(&topo, EndpointConfig::default());
@@ -125,16 +145,30 @@ fn main() {
     } else {
         &[2, 4, 8, 16, 32, 64]
     };
+    // Best-of-3 per size on full runs: the monotone gate reads wall-clock
+    // bandwidth on a possibly core-starved box, and single measurements
+    // swing ±40% under scheduler noise (the committed n=8 "anomaly"
+    // turned out to be exactly that). The max of three is a far more
+    // stable estimator of what the fabric can actually carry.
+    let reps = if smoke { 1 } else { 3 };
     let (pair_count, rounds, warmup) = if smoke { (600, 200, 30) } else { (3000, 500, 50) };
-    let incast_ks: &[usize] = if smoke { &[2, 4, 7] } else { &[2, 4, 8, 15] };
+    let incast_ks: &[usize] = &[2, 4, 8, 15];
     let incast_msgs = if smoke { 150 } else { 600 };
+    const TRUNK_FLOWS: usize = 8;
+    let trunk_msgs = if smoke { 100 } else { 200 };
 
-    eprintln!("bench_scaling: sizes {sizes:?}, {pair_count} msgs/pair, incast K {incast_ks:?}");
+    eprintln!(
+        "bench_scaling: sizes {sizes:?} (best of {reps}), {pair_count} msgs/pair, \
+         incast K {incast_ks:?}"
+    );
 
     let mut points = Vec::new();
     for &n in sizes {
         let pairs = n / 2;
-        let bw = live_parallel_pairs(pairs, pair_count);
+        let bw = (0..reps)
+            .map(|_| live_parallel_pairs(pairs, pair_count))
+            .max_by(|a, b| a.total_mbs.total_cmp(&b.total_mbs))
+            .expect("at least one rep");
         let (p50_us, p99_us, hops) = switched_pingpong(n, warmup, rounds);
         eprintln!(
             "  n={n:>2}: {:.1} MB/s aggregate over {pairs} pairs (fairness {:.3}), \
@@ -158,8 +192,9 @@ fn main() {
         let r = live_incast(k, incast_msgs, incast_config());
         let peak = r.peak_outstanding.iter().copied().max().unwrap_or(0);
         eprintln!(
-            "  incast k={k:>2}: peak reject-queue {peak}/{window}, {} bounces, {:.1} MB/s",
-            r.rejected, r.total_mbs
+            "  incast k={k:>2}: peak reject-queue {peak}/{window}, {} bounces, \
+             {:.1} MB/s, fairness {:.3}",
+            r.rejected, r.total_mbs, r.fairness
         );
         incasts.push(IncastPoint {
             k,
@@ -170,25 +205,46 @@ fn main() {
         });
     }
 
-    // Gates. Monotonicity gets a 15% wall-clock jitter allowance — on a
-    // core-starved box aggregate throughput plateaus instead of growing,
-    // and scheduler noise swings individual points ~10%; a genuine
-    // serialization bug (every pair through one blocked port) costs far
-    // more than 15%. The reject-queue bound is exact (a correctness
-    // property, not a timing one); "constant in K" tolerates a
-    // quarter-window of spread (under sustained overload every sender
-    // pins at the window).
-    let upto16: Vec<f64> = points
-        .iter()
-        .filter(|p| p.n <= 16)
-        .map(|p| p.aggregate_mbs)
-        .collect();
-    let monotone_2_16 = upto16.windows(2).all(|w| w[1] >= 0.85 * w[0]);
+    let rounds_w1 = rounds_cross_pairs(TRUNK_FLOWS, 1, trunk_msgs);
+    let rounds_w4 = rounds_cross_pairs(TRUNK_FLOWS, 4, trunk_msgs);
+    let trunk_speedup = rounds_w1 as f64 / rounds_w4 as f64;
+    eprintln!(
+        "  trunks: {TRUNK_FLOWS} crossing flows, {rounds_w1} rounds over 1 trunk vs \
+         {rounds_w4} over 4 ({trunk_speedup:.2}x)"
+    );
+
+    // Gates. Monotonicity gets a 15% wall-clock allowance per step on top
+    // of best-of-3 — a genuine serialization bug (every pair through one
+    // blocked port) costs far more than that. The reject-queue bound is
+    // exact (a correctness property, not a timing one); "constant in K"
+    // tolerates a quarter-window of spread; fairness and the trunk
+    // speedup are deterministic drive-round measurements.
+    let aggregate: Vec<f64> = points.iter().map(|p| p.aggregate_mbs).collect();
+    let monotone_2_64 = aggregate
+        .windows(2)
+        .all(|w| w[1] >= MONOTONE_ALLOWANCE * w[0]);
     let reject_bounded = incasts.iter().all(|p| p.peak_outstanding <= window);
     let peaks: Vec<usize> = incasts.iter().map(|p| p.peak_outstanding).collect();
     let spread = peaks.iter().max().unwrap_or(&0) - peaks.iter().min().unwrap_or(&0);
     let reject_constant = spread <= window / 4;
-    let enforced = !smoke;
+    let fairness_k15 = incasts
+        .iter()
+        .max_by_key(|p| p.k)
+        .map(|p| p.fairness)
+        .unwrap_or(0.0);
+    let fairness_ok = fairness_k15 >= FAIRNESS_FLOOR;
+    let trunk_ok = trunk_speedup >= TRUNK_SPEEDUP_FLOOR;
+    // Deterministic gates are enforced in every mode; the wall-clock
+    // monotone gate only on full runs.
+    let mut enforced_gates = vec![
+        ("reject_bounded", reject_bounded),
+        ("reject_constant", reject_constant),
+        ("fairness_k15", fairness_ok),
+        ("trunk_speedup", trunk_ok),
+    ];
+    if !smoke {
+        enforced_gates.push(("monotone_2_64", monotone_2_64));
+    }
 
     let mut json = String::new();
     let _ = write!(
@@ -199,11 +255,13 @@ fn main() {
             "  \"smoke\": {smoke},\n",
             "  \"msg_bytes\": {msg_bytes},\n",
             "  \"msgs_per_pair\": {pair_count},\n",
+            "  \"reps\": {reps},\n",
             "  \"points\": [\n"
         ),
         smoke = smoke,
         msg_bytes = LIVE_MSG_BYTES,
         pair_count = pair_count,
+        reps = reps,
     );
     for (i, p) in points.iter().enumerate() {
         let _ = writeln!(
@@ -250,18 +308,38 @@ fn main() {
         concat!(
             "    ]\n",
             "  }},\n",
+            "  \"trunks\": {{\n",
+            "    \"flows\": {flows},\n",
+            "    \"msgs_per_flow\": {msgs},\n",
+            "    \"rounds_width1\": {w1},\n",
+            "    \"rounds_width4\": {w4},\n",
+            "    \"speedup\": {speedup:.2}\n",
+            "  }},\n",
             "  \"gate\": {{\n",
-            "    \"monotone_2_16\": {monotone},\n",
+            "    \"monotone_2_64\": {monotone},\n",
             "    \"reject_bounded\": {bounded},\n",
             "    \"reject_constant\": {constant},\n",
-            "    \"enforced\": {enforced}\n",
+            "    \"fairness_k15\": {fairness},\n",
+            "    \"trunk_speedup\": {trunk},\n",
+            "    \"enforced_gates\": [{names}]\n",
             "  }}\n",
             "}}\n"
         ),
-        monotone = monotone_2_16,
+        flows = TRUNK_FLOWS,
+        msgs = trunk_msgs,
+        w1 = rounds_w1,
+        w4 = rounds_w4,
+        speedup = trunk_speedup,
+        monotone = monotone_2_64,
         bounded = reject_bounded,
         constant = reject_constant,
-        enforced = enforced,
+        fairness = fairness_ok,
+        trunk = trunk_ok,
+        names = enforced_gates
+            .iter()
+            .map(|(name, _)| format!("\"{name}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
     );
     std::fs::write(&out, &json).unwrap_or_else(|e| {
         eprintln!("bench_scaling: cannot write {out}: {e}");
@@ -269,26 +347,35 @@ fn main() {
     });
     println!("{json}");
 
-    if enforced {
-        let mut failed = false;
-        if !monotone_2_16 {
-            eprintln!("GATE FAIL: aggregate bandwidth not non-decreasing 2->16: {upto16:?}");
+    let mut failed = false;
+    for &(name, ok) in &enforced_gates {
+        if !ok {
             failed = true;
+            match name {
+                "monotone_2_64" => eprintln!(
+                    "GATE FAIL: aggregate bandwidth not non-decreasing 2->64 \
+                     (allowance {MONOTONE_ALLOWANCE}): {aggregate:?}"
+                ),
+                "reject_bounded" => eprintln!(
+                    "GATE FAIL: reject-queue peak exceeded window {window}: {peaks:?}"
+                ),
+                "reject_constant" => eprintln!(
+                    "GATE FAIL: reject-queue peak varies with K (spread {spread} > {}): {peaks:?}",
+                    window / 4
+                ),
+                "fairness_k15" => eprintln!(
+                    "GATE FAIL: incast fairness {fairness_k15:.4} < {FAIRNESS_FLOOR} at K=15"
+                ),
+                "trunk_speedup" => eprintln!(
+                    "GATE FAIL: 4-trunk speedup {trunk_speedup:.2} < {TRUNK_SPEEDUP_FLOOR} \
+                     ({rounds_w1} vs {rounds_w4} rounds)"
+                ),
+                _ => eprintln!("GATE FAIL: {name}"),
+            }
         }
-        if !reject_bounded {
-            eprintln!("GATE FAIL: reject-queue peak exceeded window {window}: {peaks:?}");
-            failed = true;
-        }
-        if !reject_constant {
-            eprintln!(
-                "GATE FAIL: reject-queue peak varies with K (spread {spread} > {}): {peaks:?}",
-                window / 4
-            );
-            failed = true;
-        }
-        if failed {
-            std::process::exit(1);
-        }
-        eprintln!("bench_scaling: all gates PASS");
     }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!("bench_scaling: all enforced gates PASS");
 }

@@ -164,6 +164,21 @@ impl Default for EndpointConfig {
     }
 }
 
+/// A source counts as an active receive-ring contender while its last
+/// data frame is at most this many virtual-clock ticks old. Bounced
+/// senders retry their head frame every few ticks, so this comfortably
+/// spans retry gaps; a finished stream ages out and its quota share is
+/// redistributed.
+const RING_ACTIVE_TICKS: u64 = 128;
+
+/// Index into a lazily-grown per-node vector, extending with defaults.
+fn grow<T: Default + Clone>(v: &mut Vec<T>, idx: usize) -> &mut T {
+    if idx >= v.len() {
+        v.resize(idx + 1, T::default());
+    }
+    &mut v[idx]
+}
+
 /// The FM endpoint state machine. See the module docs.
 pub struct EndpointCore {
     id: NodeId,
@@ -189,6 +204,28 @@ pub struct EndpointCore {
     /// Per-source receive windows: duplicate suppression + in-order
     /// delivery (indexed by `NodeId.0`, created lazily on first frame).
     recv_windows: Vec<SeqWindow<WireFrame>>,
+    /// Rotating start index for the reorder-buffer → receive-ring refill
+    /// scan. Ring slots freed by deliveries are the scarce resource under
+    /// incast; a fixed scan order would hand every freed slot to the
+    /// lowest-numbered backlogged source and starve the rest (the
+    /// receiver-side half of the fabric's DRR arbitration).
+    drain_rr: usize,
+    /// Receive-ring slots currently held per source (indexed by
+    /// `NodeId.0`). Enforces `ring_quota`: without a cap, one source
+    /// whose reorder buffer is primed refills every slot the moment
+    /// extract frees it and captures the receiver for its whole stream —
+    /// the incast K=15 fairness collapse.
+    ring_share: Vec<u32>,
+    /// Tick of the last data frame seen per source (indexed by
+    /// `NodeId.0`); sources active within [`RING_ACTIVE_TICKS`] count
+    /// toward the quota divisor.
+    last_data: Vec<u64>,
+    /// Per-source receive-ring admission cap, recomputed each extract as
+    /// `max(1, recv_ring / active_sources)`. With one active source this
+    /// is the whole ring (streams are unaffected); under K-way incast it
+    /// shares ring slots ~1/K, which is what makes return-to-sender
+    /// arbitration fair rather than merely bounded.
+    ring_quota: usize,
     /// Peers declared dead after exhausting the retry budget.
     dead: Vec<bool>,
     /// Deaths not yet reported to the transport via `take_newly_dead`.
@@ -254,6 +291,10 @@ impl EndpointCore {
             now: 0,
             next_seq: Vec::new(),
             recv_windows: Vec::new(),
+            drain_rr: 0,
+            ring_share: Vec::new(),
+            last_data: Vec::new(),
+            ring_quota: config.recv_ring,
             dead: Vec::new(),
             newly_dead: Vec::new(),
             retx_scratch: Vec::new(),
@@ -510,6 +551,9 @@ impl EndpointCore {
         // arrivals is preserved and handlers still run inside extract.
         let frame = WireFrame::data(self.id, self.id, handler, 0, 0, payload);
         self.recv_ring.push(frame).map_err(|_| SendError::WouldBlock)?;
+        // Loopback skips the quota (no network contention to arbitrate)
+        // but still balances the share ledger extract decrements.
+        *grow(&mut self.ring_share, self.id.index()) += 1;
         self.stats.loopback += 1;
         Ok(())
     }
@@ -598,14 +642,28 @@ impl EndpointCore {
         // See on_wire: ingress spans carry the tick of the extract that
         // services them.
         let arrival = self.now + 1;
+        let now = self.now;
+        *grow(&mut self.last_data, src.index()) = now;
         match self.window_mut(src).classify(seq) {
             SeqClass::Duplicate => {
                 self.stats.duplicates += 1;
                 self.telemetry.incr(Counter::ReAcks);
                 self.accept_ack(src, slot, gen);
             }
-            SeqClass::InOrder => match self.recv_ring.push(frame) {
-                Ok(()) => {
+            SeqClass::InOrder if !self.ring_admissible(src.index()) => {
+                // Return to sender: the receiver has no room (or this
+                // source is over its ring quota); the source reserved
+                // reject-queue space for exactly this case. Not acked,
+                // not advanced — the retransmission will be InOrder again.
+                self.stats.rejected += 1;
+                self.outgoing.push_back(frame.into_return());
+            }
+            SeqClass::InOrder => {
+                {
+                    *grow(&mut self.ring_share, src.index()) += 1;
+                    if self.recv_ring.push(frame).is_err() {
+                        unreachable!("ring_admissible checked capacity");
+                    }
                     if trace.sampled {
                         self.telemetry.trace(
                             arrival,
@@ -627,23 +685,22 @@ impl EndpointCore {
                         );
                     }
                     // Split borrow: classify() above guarantees the window
-                    // exists at src.index().
+                    // exists at src.index(), grow() the share entry.
                     let Self {
                         recv_windows,
                         recv_ring,
+                        ring_share,
+                        ring_quota,
                         ..
                     } = self;
                     let win = &mut recv_windows[src.index()];
                     win.advance();
-                    Self::drain_window_into(win, recv_ring);
-                }
-                Err(frame) => {
-                    // Return to sender: the receiver has no room; the
-                    // source reserved reject-queue space for exactly this
-                    // case. Not acked, not advanced — the retransmission
-                    // will be InOrder again.
-                    self.stats.rejected += 1;
-                    self.outgoing.push_back(frame.into_return());
+                    Self::drain_window_into(
+                        win,
+                        recv_ring,
+                        &mut ring_share[src.index()],
+                        *ring_quota,
+                    );
                 }
             },
             SeqClass::Ahead => match self.window_mut(src).buffer(seq, frame) {
@@ -697,6 +754,28 @@ impl EndpointCore {
         }
     }
 
+    /// May one more in-order frame from `src` enter the receive ring?
+    /// Both ring capacity and the source's quota must have room. A
+    /// refusal is bounced exactly like a full ring: not acked, not
+    /// advanced, retransmitted in order.
+    fn ring_admissible(&self, src: usize) -> bool {
+        !self.recv_ring.is_full()
+            && (self.ring_share.get(src).copied().unwrap_or(0) as usize) < self.ring_quota
+    }
+
+    /// Recompute the per-source ring quota from the set of recently-active
+    /// sources. Called once per extract tick — O(sources), amortized away
+    /// by the deliveries the tick performs.
+    fn refresh_ring_quota(&mut self) {
+        let now = self.now;
+        let active = self
+            .last_data
+            .iter()
+            .filter(|&&t| t != 0 && now.saturating_sub(t) <= RING_ACTIVE_TICKS)
+            .count();
+        self.ring_quota = (self.config.recv_ring / active.max(1)).max(1);
+    }
+
     /// Queue a (re-)ack for an accepted frame, counting refusals — a slot
     /// too wide for the 10-bit ack word would alias another slot on the
     /// sender, so it is dropped unacked and recovered by the sender's
@@ -719,28 +798,54 @@ impl EndpointCore {
         &mut self.recv_windows[idx]
     }
 
-    /// Move consecutively-sequenced buffered frames into the receive ring.
-    fn drain_window_into(win: &mut SeqWindow<WireFrame>, ring: &mut PacketRing<WireFrame>) {
-        while win.buffered() > 0 && !ring.is_full() {
+    /// Move consecutively-sequenced buffered frames into the receive
+    /// ring, stopping at the source's quota — a primed reorder buffer
+    /// must not refill every slot extract frees (that is the incast
+    /// capture path; see `ring_share`).
+    fn drain_window_into(
+        win: &mut SeqWindow<WireFrame>,
+        ring: &mut PacketRing<WireFrame>,
+        share: &mut u32,
+        quota: usize,
+    ) {
+        while win.buffered() > 0 && !ring.is_full() && (*share as usize) < quota {
             let Some(frame) = win.take_ready() else { break };
             let pushed = ring.push(frame);
             debug_assert!(pushed.is_ok(), "checked not full above");
+            *share += 1;
         }
     }
 
-    /// Refill the receive ring from every source's reorder buffer.
+    /// Refill the receive ring from every source's reorder buffer,
+    /// starting at a rotating source so no source owns the front of the
+    /// scan. Under incast, K backlogged sources contend for the freed
+    /// ring slots every extract; rotation shares them ~1/K instead of
+    /// letting source order decide.
     fn drain_all_windows(&mut self) {
         let Self {
             recv_windows,
             recv_ring,
+            ring_share,
+            ring_quota,
+            drain_rr,
             ..
         } = self;
-        for win in recv_windows.iter_mut() {
+        let n = recv_windows.len();
+        if n == 0 {
+            return;
+        }
+        if ring_share.len() < n {
+            ring_share.resize(n, 0);
+        }
+        *drain_rr = (*drain_rr + 1) % n;
+        for k in 0..n {
             if recv_ring.is_full() {
                 break;
             }
+            let i = (*drain_rr + k) % n;
+            let win = &mut recv_windows[i];
             if win.buffered() > 0 {
-                Self::drain_window_into(win, recv_ring);
+                Self::drain_window_into(win, recv_ring, &mut ring_share[i], *ring_quota);
             }
         }
     }
@@ -753,6 +858,7 @@ impl EndpointCore {
     /// flushes acknowledgements and handler-issued sends.
     pub fn extract(&mut self, max: usize) -> usize {
         self.now += 1;
+        self.refresh_ring_quota();
         self.service_timers();
         self.retransmit_some();
         let mut delivered = 0;
@@ -768,6 +874,8 @@ impl EndpointCore {
             let Some(frame) = self.recv_ring.pop() else {
                 break;
             };
+            let share = grow(&mut self.ring_share, frame.src.index());
+            *share = share.saturating_sub(1);
             if self.deliver(frame) {
                 delivered += 1;
             }

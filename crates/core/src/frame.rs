@@ -467,19 +467,34 @@ impl WireFrame {
     /// that *decodes*. Returns `None` for frames too short to carry the
     /// field or with an unknown version marker.
     pub fn peek_dst(buf: &[u8]) -> Option<NodeId> {
+        Self::peek_flow(buf).map(|(_, dst)| dst)
+    }
+
+    /// Read the (src, dst) pair out of an encoded frame without
+    /// validating the CRC — the flow identity the switch forwarding path
+    /// hashes for multi-trunk spread. Same trust model as
+    /// [`WireFrame::peek_dst`]: a corrupted byte can misroute the frame
+    /// onto the wrong (but still per-flow-consistent) trunk, and the
+    /// receiving endpoint's CRC check rejects it. Returns `None` for
+    /// frames too short to carry the fields or with an unknown version
+    /// marker.
+    pub fn peek_flow(buf: &[u8]) -> Option<(NodeId, NodeId)> {
         let first = *buf.first()?;
         let off = if first & VERSION_MARKER == VERSION_MARKER {
             if first & !VERSION_MARKER != FM_WIRE_VERSION {
                 return None;
             }
-            6 // v1: dst at bytes 6..8
+            4 // v1: src at bytes 4..6, dst at 6..8
         } else {
-            4 // legacy v0: dst at bytes 4..6
+            2 // legacy v0: src at bytes 2..4, dst at 4..6
         };
-        if buf.len() < off + 2 {
+        if buf.len() < off + 4 {
             return None;
         }
-        Some(NodeId(u16::from_le_bytes([buf[off], buf[off + 1]])))
+        Some((
+            NodeId(u16::from_le_bytes([buf[off], buf[off + 1]])),
+            NodeId(u16::from_le_bytes([buf[off + 2], buf[off + 3]])),
+        ))
     }
 
     fn decode_v1(buf: &[u8]) -> Result<Self, CodecError> {
@@ -638,6 +653,17 @@ mod tests {
         assert_eq!(WireFrame::peek_dst(&[]), None);
         assert_eq!(WireFrame::peek_dst(&[0xF1, 0, 0, 0, 0]), None);
         assert_eq!(WireFrame::peek_dst(&[0xF7; 64]), None);
+    }
+
+    #[test]
+    fn peek_flow_matches_decode_for_both_layouts() {
+        let f = sample();
+        let flow = Some((NodeId(3), NodeId(7)));
+        assert_eq!(WireFrame::peek_flow(&f.encode()), flow);
+        assert_eq!(WireFrame::peek_flow(&f.encode_v0()), flow);
+        assert_eq!(WireFrame::peek_flow(&[]), None);
+        assert_eq!(WireFrame::peek_flow(&[0xF1, 0, 0, 0, 0]), None);
+        assert_eq!(WireFrame::peek_flow(&[0xF7; 64]), None);
     }
 
     #[test]

@@ -80,7 +80,7 @@ pub use frame::{
 };
 pub use handler::{Handler, HandlerId, HandlerRegistry, Outbox};
 pub use mem::{ClusterRunner, FabricKind, MemCluster, MemEndpoint, ShutdownError};
-pub use switched::{SwitchRunner, SwitchShard, SwitchStats, SwitchedCluster};
+pub use switched::{SwitchConfig, SwitchRunner, SwitchShard, SwitchStats, SwitchedCluster};
 
 // The switched runtime routes over the network crate's topology model.
 pub use fm_myrinet::SwitchTopology;

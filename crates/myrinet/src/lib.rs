@@ -27,7 +27,7 @@ pub use consts::*;
 pub use network::{DeliveredPacket, Network, NetworkConfig};
 pub use packet::{NodeId, Packet};
 pub use switch::Switch;
-pub use topology::SwitchTopology;
+pub use topology::{SwitchTopology, TrunkLink};
 
 #[cfg(test)]
 mod tests {

@@ -200,6 +200,30 @@ pub fn incast(k: usize, n: usize, count: usize) -> ScalingReport {
 /// Payload bytes per message in the live experiments — one full FM frame.
 pub const LIVE_MSG_BYTES: usize = 128;
 
+/// How the live cluster is wired through switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterWiring {
+    /// The original shape: one switch up to 8 hosts, then a single-trunk
+    /// chain of switches. Cross-switch flows serialize on shared trunks.
+    Tree,
+    /// The scaling shape: one switch up to 8 hosts, then a two-level
+    /// fat tree (leaves + spines) with per-flow trunk spreading.
+    Wide,
+}
+
+impl ClusterWiring {
+    /// Both modes, for parameterized tests.
+    pub const ALL: [ClusterWiring; 2] = [ClusterWiring::Tree, ClusterWiring::Wide];
+
+    /// The topology this wiring gives an `n`-host cluster.
+    pub fn topology(self, n: usize) -> SwitchTopology {
+        match self {
+            ClusterWiring::Tree => SwitchTopology::for_cluster(n),
+            ClusterWiring::Wide => SwitchTopology::for_cluster_wide(n),
+        }
+    }
+}
+
 /// Result of a live incast run.
 #[derive(Debug, Clone)]
 pub struct IncastReport {
@@ -228,9 +252,14 @@ pub struct IncastReport {
 /// the standard chain shape, so aggregate bandwidth can scale with the
 /// pair count the way disjoint crossbar ports do.
 pub fn live_parallel_pairs(k: usize, count: usize) -> ScalingReport {
+    live_parallel_pairs_wired(k, count, ClusterWiring::Wide)
+}
+
+/// [`live_parallel_pairs`] over an explicit [`ClusterWiring`].
+pub fn live_parallel_pairs_wired(k: usize, count: usize, wiring: ClusterWiring) -> ScalingReport {
     assert!(k >= 1);
     let n = 2 * k;
-    let topo = SwitchTopology::for_cluster(n);
+    let topo = wiring.topology(n);
     let mut cluster = SwitchedCluster::new(&topo, EndpointConfig::default());
     let counters: Vec<Arc<AtomicU64>> = (0..k).map(|_| Arc::new(AtomicU64::new(0))).collect();
     for (pair, counter) in counters.iter().enumerate() {
@@ -313,9 +342,19 @@ pub fn live_parallel_pairs(k: usize, count: usize) -> ScalingReport {
 /// actually happen across the switch path. Deterministic single-threaded
 /// drive; samples each sender's reject-queue occupancy every round.
 pub fn live_incast(k: usize, count: usize, config: EndpointConfig) -> IncastReport {
+    live_incast_wired(k, count, config, ClusterWiring::Wide)
+}
+
+/// [`live_incast`] over an explicit [`ClusterWiring`].
+pub fn live_incast_wired(
+    k: usize,
+    count: usize,
+    config: EndpointConfig,
+    wiring: ClusterWiring,
+) -> IncastReport {
     assert!(k >= 1);
     let n = k + 1;
-    let topo = SwitchTopology::for_cluster(n);
+    let topo = wiring.topology(n);
     let mut cluster = SwitchedCluster::new(&topo, config);
     let seen: Arc<std::sync::Mutex<HashSet<(u16, u32)>>> = Default::default();
     let counts: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
@@ -397,6 +436,65 @@ pub fn incast_config() -> EndpointConfig {
         recv_ring: 8,
         retransmit_per_extract: 8,
         ..Default::default()
+    }
+}
+
+/// Deterministic trunk-capacity measurement: `k` flows all crossing the
+/// trunk(s) between two switches (hosts `i → k+i`), with deliberately
+/// shallow wire rings so the trunks — not the endpoints — are the
+/// bottleneck. Returns the number of single-threaded drive rounds until
+/// every flow lands `count` messages.
+///
+/// Each drive round a trunk ring carries at most `wire_ring` frames, so
+/// rounds scale ~`k·count / (wire_ring · effective_trunks)`: wiring
+/// `width` parallel trunks divides the round count by roughly the number
+/// of trunks the flow hash actually spreads over. Unlike the wall-clock
+/// sweeps this is exact and scheduler-independent, which is what makes
+/// the multi-trunk speedup CI-gateable.
+pub fn rounds_cross_pairs(k: usize, width: usize, count: usize) -> usize {
+    assert!(k >= 1 && width >= 1);
+    let ports = (k + width).max(8);
+    let topo = SwitchTopology::chain_multi(2 * k, k, width, ports);
+    let config = EndpointConfig {
+        wire_ring: 8,
+        ..Default::default()
+    };
+    let mut cluster = SwitchedCluster::new(&topo, config);
+    let counts: Vec<Arc<AtomicU64>> = (0..k).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    for (pair, counter) in counts.iter().enumerate() {
+        let c = counter.clone();
+        cluster.endpoints[k + pair].register_handler_at(HandlerId(1), move |_, _, _| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    let payload = [0x77u8; LIVE_MSG_BYTES];
+    let mut queued = vec![0usize; k];
+    let mut round = 0usize;
+    loop {
+        round += 1;
+        let mut all_sent = true;
+        for (pair, q) in queued.iter_mut().enumerate() {
+            while *q < count {
+                match cluster.endpoints[pair].try_send(
+                    fm_core::NodeId((k + pair) as u16),
+                    HandlerId(1),
+                    &payload,
+                ) {
+                    Ok(()) => *q += 1,
+                    Err(_) => break,
+                }
+            }
+            all_sent &= *q == count;
+        }
+        cluster.drive_round();
+        if all_sent
+            && counts
+                .iter()
+                .all(|c| c.load(Ordering::Relaxed) as usize == count)
+        {
+            return round;
+        }
+        assert!(round < 1_000_000, "cross-pairs wedged at width {width}");
     }
 }
 
