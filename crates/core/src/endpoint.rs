@@ -25,6 +25,7 @@ use crate::flow::{ack_word_parts, AckTracker, RetransmitConfig, SenderFlow, SeqC
 use crate::frame::{FrameKind, TraceCtx, WireFrame, FM_FRAME_PAYLOAD};
 use crate::handler::{Handler, HandlerId, HandlerRegistry, Outbox};
 use crate::queues::PacketRing;
+use crate::time::{derive_jitter_seed, splitmix64, RttEstimator, TimeSource};
 use fm_telemetry::{Counter, EventKind, Metric, Telemetry};
 
 /// Non-blocking send failure.
@@ -96,6 +97,10 @@ pub struct EndpointStats {
     /// Frames dropped because their destination was declared dead (window
     /// slots, queued wire traffic and deferred sends purged together).
     pub unreachable_drops: u64,
+    /// Times [`EndpointCore::reset_peer`] wiped bidirectional stream state
+    /// for a restarted peer (handshake generation change on a real-network
+    /// fabric).
+    pub peer_resets: u64,
 }
 
 /// Configuration knobs for one endpoint.
@@ -145,6 +150,24 @@ pub struct EndpointConfig {
     /// (protocol events and trace spans share it; the oldest entry is
     /// overwritten when full).
     pub trace_capacity: usize,
+    /// What one unit of `now` means: the deterministic virtual tick
+    /// (default) or wall-clock microseconds. `rto_initial`/`rto_max` are
+    /// read in the same unit, so the tick defaults double as sane
+    /// microsecond defaults (2.048 ms initial, ~65 ms cap). The UDP
+    /// fabric forces [`TimeSource::WallMicros`].
+    pub time_source: TimeSource,
+    /// Adapt the retransmission timeout from measured ack round trips
+    /// (SRTT/RTTVAR per RFC 6298; Karn's rule excludes retransmitted
+    /// slots). Off by default: the in-memory fabrics' fixed timers are
+    /// part of their reproducible-run contract. The adapted RTO is
+    /// clamped to `[rto_initial / 4, rto_max]` — it may tighten well
+    /// below the configured initial on a fast wire, but never so far
+    /// that scheduler jitter alone triggers spurious retransmissions.
+    pub adaptive_rto: bool,
+    /// Run seed mixed (splitmix64) with the node id into the
+    /// retransmit-jitter PRNG seed — deterministic per `(seed, node)`
+    /// even when the cluster's endpoints live in different OS processes.
+    pub seed: u64,
 }
 
 impl Default for EndpointConfig {
@@ -160,6 +183,9 @@ impl Default for EndpointConfig {
             reorder_window: 1024,
             trace_one_in: 64,
             trace_capacity: fm_telemetry::DEFAULT_TRACE_CAPACITY,
+            time_source: TimeSource::VirtualTick,
+            adaptive_rto: false,
+            seed: 0,
         }
     }
 }
@@ -195,10 +221,18 @@ pub struct EndpointCore {
     /// Scratch for flushing handler-issued sends; its capacity is reused
     /// across deliveries so the extract hot path never allocates.
     outbox_scratch: Vec<(NodeId, HandlerId, Bytes)>,
-    /// Virtual clock: one tick per `extract` call. Drives the
-    /// retransmission timers without any real-time dependency, so every
-    /// protocol run is deterministic and replayable.
+    /// The endpoint clock, advanced at the top of every `extract` per the
+    /// configured [`TimeSource`]: one unit per call (deterministic,
+    /// replayable — the default) or elapsed wall-clock microseconds
+    /// (real-network fabrics).
     now: u64,
+    /// Wall-clock origin, set lazily on the first `extract` under
+    /// [`TimeSource::WallMicros`]; `None` forever on the virtual tick.
+    clock_origin: Option<std::time::Instant>,
+    /// Ack round-trip estimator feeding the adaptive RTO (see
+    /// [`EndpointConfig::adaptive_rto`]). Always maintained cheaply
+    /// enough to expose; only steers the timers when the config says so.
+    rtt: RttEstimator,
     /// Next sequence number per destination (indexed by `NodeId.0`).
     next_seq: Vec<u32>,
     /// Per-source receive windows: duplicate suppression + in-order
@@ -274,10 +308,11 @@ impl EndpointCore {
             rto_max: config.rto_max,
             retry_budget: config.retry_budget,
         };
-        // Seed the jitter PRNG from the node id: deterministic per run,
-        // decorrelated across nodes (so synchronized losses do not produce
-        // synchronized retransmission storms).
-        let jitter_seed = 0x9E37_79B9_7F4A_7C15u64 ^ ((id.0 as u64) << 17) ^ (id.0 as u64);
+        // Seed the jitter PRNG from (run seed, node id): deterministic per
+        // run and reproducible across OS processes, decorrelated across
+        // nodes (so synchronized losses do not produce synchronized
+        // retransmission storms).
+        let jitter_seed = derive_jitter_seed(config.seed, id.0);
         EndpointCore {
             id,
             registry: HandlerRegistry::new(),
@@ -289,6 +324,12 @@ impl EndpointCore {
             outbox: Outbox::new(id),
             outbox_scratch: Vec::new(),
             now: 0,
+            clock_origin: None,
+            rtt: RttEstimator::new(
+                config.rto_initial,
+                (config.rto_initial / 4).max(1),
+                config.rto_max,
+            ),
             next_seq: Vec::new(),
             recv_windows: Vec::new(),
             drain_rr: 0,
@@ -373,6 +414,50 @@ impl EndpointCore {
         if let Some(flag) = self.dead.get_mut(peer.index()) {
             *flag = false;
         }
+    }
+
+    /// `peer` restarted as a *new process* (the UDP handshake saw its
+    /// generation change): wipe the bidirectional stream state so traffic
+    /// resumes against its fresh sequence space instead of wedging.
+    /// Outgoing sequence numbers restart at 0 (the new incarnation's
+    /// receive window expects 0), the receive window is rebuilt (the new
+    /// incarnation sends from 0), and everything still in flight toward
+    /// the old incarnation — window slots, queued wire frames, deferred
+    /// sends, pending acks — is purged and counted in
+    /// `unreachable_drops`, exactly as if the peer had died. The dead
+    /// mark, if set, is cleared: a handshaking peer is demonstrably
+    /// alive. Plain [`EndpointCore::revive_peer`] is for a peer that kept
+    /// its state (a transient stall); this is for one that lost it.
+    pub fn reset_peer(&mut self, peer: NodeId) {
+        let idx = peer.index();
+        let mut drops = 0u64;
+        self.sender.release_where(|f| f.dst == peer, |_f| drops += 1);
+        let before = self.outgoing.len();
+        self.outgoing.retain(|f| f.dst != peer);
+        drops += (before - self.outgoing.len()) as u64;
+        let before = self.deferred.len();
+        self.deferred.retain(|(dst, _, _)| *dst != peer);
+        drops += (before - self.deferred.len()) as u64;
+        self.acks.purge(peer);
+        if let Some(seq) = self.next_seq.get_mut(idx) {
+            *seq = 0;
+        }
+        if let Some(win) = self.recv_windows.get_mut(idx) {
+            drops += win.clear_buffered() as u64;
+            *win = SeqWindow::new(self.config.reorder_window);
+        }
+        if let Some(flag) = self.dead.get_mut(idx) {
+            *flag = false;
+        }
+        self.stats.peer_resets += 1;
+        self.stats.unreachable_drops += drops;
+    }
+
+    /// The ack round-trip estimator (SRTT/RTTVAR/RTO). Always measured;
+    /// only steers the retransmission timers when
+    /// [`EndpointConfig::adaptive_rto`] is set.
+    pub fn rtt(&self) -> &RttEstimator {
+        &self.rtt
     }
 
     /// Record a frame the transport discarded for a CRC mismatch. The frame
@@ -574,8 +659,16 @@ impl EndpointCore {
         let arrival = self.now + 1;
         // Piggybacked acks count regardless of what happens to the frame.
         for &word in frame.piggy.as_slice() {
+            // Karn's rule needs the flag *before* on_ack frees the slot: a
+            // retransmitted slot's ack is ambiguous between transmissions
+            // and must never become an RTT sample.
+            let karn_clean = !self.sender.slot_retransmitted(ack_word_parts(word).0);
             if let Some(rtt) = self.sender.on_ack(word, self.now) {
                 self.telemetry.record(Metric::AckRttTicks, rtt);
+                if karn_clean && self.config.adaptive_rto {
+                    self.rtt.on_sample(rtt);
+                    self.sender.set_rto_initial(self.rtt.rto());
+                }
                 // First valid ack for a traced slot closes that trace's
                 // send→ack round trip (clocksync's t3).
                 let (slot, _) = ack_word_parts(word);
@@ -857,7 +950,7 @@ impl EndpointCore {
     /// services retransmission timers, paces bounce retransmissions and
     /// flushes acknowledgements and handler-issued sends.
     pub fn extract(&mut self, max: usize) -> usize {
-        self.now += 1;
+        self.advance_clock();
         self.refresh_ring_quota();
         self.service_timers();
         self.retransmit_some();
@@ -884,6 +977,22 @@ impl EndpointCore {
         self.flush_deferred();
         self.flush_acks(true);
         delivered
+    }
+
+    /// Advance `now` per the configured time source. Wall time is pinned
+    /// strictly monotonic: an extract burst faster than the microsecond
+    /// clock still moves `now` by at least one, so trace stamps stay
+    /// distinct and deadline math never sees a frozen clock.
+    fn advance_clock(&mut self) {
+        self.now = match self.config.time_source {
+            TimeSource::VirtualTick => self.now + 1,
+            TimeSource::WallMicros => {
+                let origin = *self
+                    .clock_origin
+                    .get_or_insert_with(std::time::Instant::now);
+                (origin.elapsed().as_micros() as u64).max(self.now + 1)
+            }
+        };
     }
 
     /// Returns true when a handler actually ran (unknown-handler frames are
@@ -1154,11 +1263,7 @@ impl EndpointCore {
 /// across the cluster so concurrently-minted ids effectively never
 /// collide within one bounded trace ring's lifetime.
 fn derive_trace_id(node: u16, n: u32) -> u32 {
-    let mut x = ((node as u64) << 32) | n as u64;
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^= x >> 31;
+    let x = splitmix64(((node as u64) << 32) | n as u64);
     (x as u32) ^ ((x >> 32) as u32)
 }
 

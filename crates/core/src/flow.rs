@@ -113,6 +113,11 @@ pub struct SenderFlow<T> {
     gens: Vec<u8>,
     /// Per-slot reservation tick, read back on ack for the send→ack RTT.
     sent_at: Vec<u64>,
+    /// Per-slot "transmitted more than once" flags (bounce- or
+    /// timer-driven alike), cleared on reservation. This is Karn's rule's
+    /// input: an ack for a retransmitted slot is ambiguous between
+    /// transmissions, so its RTT must never feed the estimator.
+    retx: Vec<bool>,
     /// Deterministic xorshift state for retransmission jitter.
     jitter_state: u64,
     /// Statistics (read via the accessor methods below).
@@ -133,6 +138,7 @@ impl<T> SenderFlow<T> {
             retransmit,
             gens: vec![0; window],
             sent_at: vec![0; window],
+            retx: vec![false; window],
             jitter_state: jitter_seed | 1,
             sent: 0,
             retransmitted: 0,
@@ -162,8 +168,30 @@ impl<T> SenderFlow<T> {
         let slot = self.reject.reserve(now, self.retransmit.rto_initial)?;
         self.gens[slot as usize] = self.gens[slot as usize].wrapping_add(1);
         self.sent_at[slot as usize] = now;
+        self.retx[slot as usize] = false;
         self.sent += 1;
         Some(slot)
+    }
+
+    /// Has `slot`'s current occupant been transmitted more than once?
+    /// Query *before* [`SenderFlow::on_ack`] frees the slot; a valid ack
+    /// for a retransmitted slot must be excluded from RTT sampling
+    /// (Karn's rule).
+    pub fn slot_retransmitted(&self, slot: u16) -> bool {
+        self.retx.get(slot as usize).copied().unwrap_or(false)
+    }
+
+    /// Replace the base retransmission timeout for *future* reservations
+    /// (in-flight slots keep the deadline they were armed with). Clamped
+    /// to `[1, rto_max]` so the `new()` invariants keep holding. This is
+    /// how the endpoint's adaptive RTT estimator steers the timers.
+    pub fn set_rto_initial(&mut self, rto: u64) {
+        self.retransmit.rto_initial = rto.clamp(1, self.retransmit.rto_max);
+    }
+
+    /// The base retransmission timeout currently armed on fresh sends.
+    pub fn rto_initial(&self) -> u64 {
+        self.retransmit.rto_initial
     }
 
     /// The current reuse generation of `slot` — stamp it into the frame
@@ -211,8 +239,11 @@ impl<T> SenderFlow<T> {
         T: Clone,
     {
         let r = self.reject.pop_retransmit(now);
-        if r.is_some() {
+        if let Some((slot, _)) = &r {
             self.retransmitted += 1;
+            if let Some(flag) = self.retx.get_mut(*slot as usize) {
+                *flag = true;
+            }
         }
         r
     }
@@ -242,6 +273,7 @@ impl<T> SenderFlow<T> {
             ..
         } = self.retransmit;
         let jitter_state = &mut self.jitter_state;
+        let retx = &mut self.retx;
         let mut fired = 0u64;
         self.reject.scan_expired(
             now,
@@ -264,6 +296,9 @@ impl<T> SenderFlow<T> {
             },
             |slot, packet| {
                 fired += 1;
+                if let Some(flag) = retx.get_mut(slot as usize) {
+                    *flag = true;
+                }
                 retransmit(slot, packet);
             },
             fail,

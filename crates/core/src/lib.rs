@@ -67,6 +67,8 @@ pub mod queues;
 pub mod seg;
 pub mod stream;
 pub mod switched;
+pub mod time;
+pub mod udp;
 
 pub use endpoint::{EndpointConfig, EndpointCore, EndpointStats, SendError};
 pub use fabric::{spsc_ring, BufferPool, RingConsumer, RingProducer};
@@ -81,6 +83,11 @@ pub use frame::{
 pub use handler::{Handler, HandlerId, HandlerRegistry, Outbox};
 pub use mem::{ClusterRunner, FabricKind, MemCluster, MemEndpoint, ShutdownError};
 pub use switched::{SwitchConfig, SwitchRunner, SwitchShard, SwitchStats, SwitchedCluster};
+pub use time::{derive_jitter_seed, MicroClock, RttEstimator, TimeSource};
+pub use udp::{
+    unique_generation, Roster, RosterParseError, UdpConfig, UdpStats, DEFAULT_HELLO_INTERVAL_US,
+    UDP_PROTO_VERSION,
+};
 
 // The switched runtime routes over the network crate's topology model.
 pub use fm_myrinet::SwitchTopology;

@@ -25,6 +25,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use fm_myrinet::NodeId;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -32,9 +33,11 @@ use std::time::{Duration, Instant};
 use crate::endpoint::{EndpointConfig, EndpointCore, EndpointStats, SendError};
 use crate::fabric::{spsc_ring, RingConsumer, RingProducer};
 use crate::fault::{flip_bit, FaultConfig, FaultEvent, FaultInjector, FaultStats, OutboundFrame};
-use crate::frame::{CodecError, WireFrame};
+use crate::frame::{CodecError, WireFrame, FM_FRAME_MAX};
 use crate::handler::{HandlerId, Outbox};
 use crate::seg::{self, Reassembly};
+use crate::time::{RttEstimator, TimeSource};
+use crate::udp::{unique_generation, Roster, UdpConfig, UdpLink, UdpStats, DEFAULT_HELLO_INTERVAL_US};
 use fm_telemetry::{Counter, Metric, Telemetry};
 
 /// The reserved handler id for segmentation fragments.
@@ -59,6 +62,13 @@ pub enum FabricKind {
     /// General-purpose channel (over `std::sync::mpsc`): every frame is
     /// heap-boxed and crosses a locked queue. The measured baseline.
     Channel,
+    /// Real UDP sockets over loopback: every frame crosses the kernel as a
+    /// datagram, one nonblocking socket per endpoint, with the
+    /// hello/hello-ack handshake from [`crate::udp`] detecting restarted
+    /// peers. Forces [`TimeSource::WallMicros`] — a virtual tick cannot
+    /// time a real wire. For endpoints in *separate processes*, use
+    /// [`MemEndpoint::bind_udp`] with a shared [`Roster`] instead.
+    Udp,
 }
 
 /// The sending half of one node's wire to one peer.
@@ -94,6 +104,10 @@ enum Wiring {
         /// per-peer vector; here there is only one wire).
         cluster: usize,
     },
+    /// Real-network: one UDP socket carrying encoded frames to every peer,
+    /// addressed through the link's roster (the [`crate::udp`] shape —
+    /// peers may live in other OS processes).
+    Udp(UdpLink),
 }
 
 /// Aggregated wire-fabric counters for one endpoint (all zero on a
@@ -154,6 +168,35 @@ impl MemCluster {
         assert!(config.window > 0, "window must be >= 1 frame");
         assert!(config.recv_ring > 0, "recv_ring must be >= 1 frame");
         assert!(config.wire_ring > 0, "wire_ring must be >= 1 frame");
+        if fabric == FabricKind::Udp {
+            // Bind every socket first so the shared roster can carry real
+            // ephemeral ports, then hand each endpoint its own link.
+            let mut config = config;
+            config.time_source = TimeSource::WallMicros;
+            let socks: Vec<UdpSocket> = (0..n)
+                .map(|_| UdpSocket::bind(("127.0.0.1", 0)).expect("bind loopback UDP socket"))
+                .collect();
+            let mut roster = Roster::new(n);
+            for (i, sock) in socks.iter().enumerate() {
+                roster.set(NodeId(i as u16), sock.local_addr().expect("bound socket address"));
+            }
+            return socks
+                .into_iter()
+                .enumerate()
+                .map(|(i, sock)| {
+                    let id = NodeId(i as u16);
+                    let link = UdpLink::from_socket(
+                        id,
+                        sock,
+                        roster.clone(),
+                        unique_generation(),
+                        DEFAULT_HELLO_INTERVAL_US,
+                    )
+                    .expect("nonblocking mode on a fresh socket");
+                    MemEndpoint::new(id, config, Wiring::Udp(link))
+                })
+                .collect();
+        }
         let mut txs: Vec<Vec<Option<WireTx>>> =
             (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
         let mut rxs: Vec<WireRx> = match fabric {
@@ -174,6 +217,7 @@ impl MemCluster {
                 }
                 rxs
             }
+            FabricKind::Udp => unreachable!("UDP fabric built and returned above"),
         };
         if fabric == FabricKind::Ring {
             // One SPSC ring per ordered pair: src's producer, dst's consumer.
@@ -317,6 +361,101 @@ impl MemEndpoint {
         match &self.wiring {
             Wiring::Mesh { tx, .. } => tx.len(),
             Wiring::Switched { cluster, .. } => *cluster,
+            Wiring::Udp(link) => link.cluster(),
+        }
+    }
+
+    /// Build one endpoint of a UDP cluster whose peers live in other OS
+    /// processes (or other threads with their own sockets). `net.roster`
+    /// fixes the cluster size and the peers' addresses; the hello exchange
+    /// then confirms liveness and protocol version, and a peer that comes
+    /// back with a new generation has its streams reset automatically (see
+    /// [`Self::reset_peer`]). Forces [`TimeSource::WallMicros`].
+    pub fn bind_udp(
+        me: NodeId,
+        net: UdpConfig,
+        mut config: EndpointConfig,
+    ) -> std::io::Result<MemEndpoint> {
+        assert!(me.index() < net.roster.len(), "node id outside the roster");
+        assert!(config.window > 0, "window must be >= 1 frame");
+        assert!(config.recv_ring > 0, "recv_ring must be >= 1 frame");
+        config.time_source = TimeSource::WallMicros;
+        let link = UdpLink::bind(me, net)?;
+        Ok(MemEndpoint::new(me, config, Wiring::Udp(link)))
+    }
+
+    /// Decorate this endpoint's transmit path with seeded faults — the
+    /// per-endpoint form of [`MemCluster::with_faulty_fabric`], for
+    /// endpoints built one at a time (e.g. [`Self::bind_udp`] across
+    /// processes). Loopback UDP is too reliable to exercise the recovery
+    /// machinery on its own; this puts the losses back.
+    pub fn inject_faults(&mut self, faults: &FaultConfig) {
+        let n = self.cluster_size();
+        self.faults = Some(FaultInjector::new(self.node_id(), n, faults));
+    }
+
+    /// The local socket address, when this endpoint is wired over UDP.
+    pub fn udp_local_addr(&self) -> Option<SocketAddr> {
+        match &self.wiring {
+            Wiring::Udp(link) => link.local_addr().ok(),
+            _ => None,
+        }
+    }
+
+    /// Wire-level UDP counters, when wired over UDP.
+    pub fn udp_stats(&self) -> Option<UdpStats> {
+        match &self.wiring {
+            Wiring::Udp(link) => Some(link.stats()),
+            _ => None,
+        }
+    }
+
+    /// This incarnation's handshake generation, when wired over UDP.
+    pub fn udp_generation(&self) -> Option<u32> {
+        match &self.wiring {
+            Wiring::Udp(link) => Some(link.generation()),
+            _ => None,
+        }
+    }
+
+    /// Whether the hello exchange with `peer` has completed, when wired
+    /// over UDP.
+    pub fn udp_established(&self, peer: NodeId) -> Option<bool> {
+        match &self.wiring {
+            Wiring::Udp(link) => Some(link.established(peer)),
+            _ => None,
+        }
+    }
+
+    /// The last generation seen from `peer`, when wired over UDP and at
+    /// least one handshake datagram has arrived from it.
+    pub fn udp_peer_generation(&self, peer: NodeId) -> Option<u32> {
+        match &self.wiring {
+            Wiring::Udp(link) => link.peer_generation(peer),
+            _ => None,
+        }
+    }
+
+    /// The adaptive round-trip estimator (meaningful when
+    /// `EndpointConfig::adaptive_rto` is on).
+    pub fn rtt(&self) -> RttEstimator {
+        *self.core.rtt()
+    }
+
+    /// Wipe every stream toward `peer` and start over from sequence zero:
+    /// in-window frames, backlog, deferred sends, partial reassemblies and
+    /// the receive window are all discarded, and the dead mark (if any) is
+    /// cleared. Called automatically when the UDP handshake observes the
+    /// peer restart with a new generation; public for embedders running
+    /// their own membership protocol. Plain [`Self::revive_peer`] is the
+    /// gentler variant for a peer that was merely slow.
+    pub fn reset_peer(&mut self, peer: NodeId) {
+        self.core.reset_peer(peer);
+        self.backlog.retain(|of| of.frame.dst != peer);
+        self.deferred.retain(|(dst, _, _)| *dst != peer);
+        let aborted = self.reasm.lock().abort_source(peer);
+        if aborted > 0 {
+            self.telemetry.add(Counter::ReassemblyAborts, aborted as u64);
         }
     }
 
@@ -345,6 +484,8 @@ impl MemEndpoint {
                 s.polled = down.stats.polled;
                 s.batches = down.stats.batches;
             }
+            // The kernel owns the UDP queues; see [`Self::udp_stats`].
+            Wiring::Udp(_) => {}
         }
         s
     }
@@ -596,6 +737,16 @@ impl MemEndpoint {
     // ---- internals ---------------------------------------------------------
 
     fn pump_wire(&mut self) {
+        let resets = self.pump_wire_inner();
+        for peer in resets {
+            self.reset_peer(peer);
+        }
+    }
+
+    /// Drain the wire into the protocol core. Returns the peers the UDP
+    /// handshake flagged as restarted (always empty on in-memory fabrics);
+    /// the caller resets them *after* the borrow of `core` ends.
+    fn pump_wire_inner(&mut self) -> Vec<NodeId> {
         let Self {
             wiring,
             core,
@@ -624,7 +775,15 @@ impl MemEndpoint {
                     }
                     telemetry.record(Metric::PollBatch, got as u64);
                 }
-                return;
+                return Vec::new();
+            }
+            Wiring::Udp(link) => {
+                let mut resets = Vec::new();
+                let got = link.pump(&mut sink, |peer| resets.push(peer));
+                if got > 0 {
+                    telemetry.record(Metric::PollBatch, got);
+                }
+                return resets;
             }
         };
         match rx {
@@ -659,6 +818,7 @@ impl MemEndpoint {
                 }
             }
         }
+        Vec::new()
     }
 
     fn flush_wire(&mut self) {
@@ -727,6 +887,26 @@ impl MemEndpoint {
                     n
                 });
                 return if pushed { None } else { Some(of) };
+            }
+            Wiring::Udp(link) => {
+                if dst >= link.cluster() {
+                    return None; // outside the roster: undeliverable
+                }
+                // Encode (and apply any decided corruption) on the stack,
+                // then hand the datagram to the kernel. `false` means
+                // `WouldBlock` — kernel buffer full — which backlogs the
+                // frame exactly like a full ring; real send failures are
+                // wire loss and the retransmission timers recover.
+                let mut buf = [0u8; FM_FRAME_MAX];
+                let n = of.frame.encode_into(&mut buf);
+                if let Some(bit) = of.corrupt_bit {
+                    flip_bit(&mut buf[..n], bit);
+                }
+                return if link.send_encoded(dst, &buf[..n]) {
+                    None
+                } else {
+                    Some(of)
+                };
             }
         };
         match tx {
