@@ -22,7 +22,7 @@
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use fm_myrinet::NodeId;
+use fm_myrinet::{NodeId, SwitchTopology};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::net::{SocketAddr, UdpSocket};
@@ -103,6 +103,12 @@ enum Wiring {
         /// Total hosts in the topology (the mesh derives this from the
         /// per-peer vector; here there is only one wire).
         cluster: usize,
+        /// The fabric shape this endpoint is plugged into, shared with
+        /// every other endpoint of the cluster. Exposed through
+        /// [`MemEndpoint::topology`] so layers above (collectives, load
+        /// balancers) can shape their communication to the actual wiring
+        /// instead of assuming a flat rank space.
+        topo: Arc<SwitchTopology>,
     },
     /// Real-network: one UDP socket carrying encoded frames to every peer,
     /// addressed through the link's roster (the [`crate::udp`] shape —
@@ -346,8 +352,21 @@ impl MemEndpoint {
         up: RingProducer,
         down: RingConsumer,
         cluster: usize,
+        topo: Arc<SwitchTopology>,
     ) -> Self {
-        Self::new(id, config, Wiring::Switched { up, down, cluster })
+        Self::new(id, config, Wiring::Switched { up, down, cluster, topo })
+    }
+
+    /// The switch topology this endpoint is wired into, when it is part of
+    /// a [`crate::switched::SwitchedCluster`] (`None` for mesh and UDP
+    /// wirings). Client layers use this to build topology-aware
+    /// communication schedules — e.g. `fm-mpi` computes its collective
+    /// spanning trees from it.
+    pub fn topology(&self) -> Option<&Arc<SwitchTopology>> {
+        match &self.wiring {
+            Wiring::Switched { topo, .. } => Some(topo),
+            _ => None,
+        }
     }
 
     /// Decorate this endpoint's transmit path with a fault injector (the

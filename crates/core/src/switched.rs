@@ -201,6 +201,11 @@ pub struct SwitchShard {
     /// first, so ties for scarce output space rotate instead of always
     /// going to port 0.
     rr: usize,
+    /// Frames forwarded per output port over the shard's lifetime —
+    /// indexed like `outputs` (host downlinks first, then trunks). The
+    /// busiest entry is the link whose serialization bounds a workload's
+    /// latency, which is what the collective benchmarks gate on.
+    output_forwarded: Vec<u64>,
     turns: u64,
     /// Poll occupancy per sampled service turn (frames pulled off the
     /// input ring), for offline batching diagnosis.
@@ -234,6 +239,15 @@ impl SwitchShard {
     /// Frames forwarded per input port over the shard's lifetime.
     pub fn input_forwarded(&self) -> Vec<u64> {
         self.inputs.iter().map(|i| i.forwarded).collect()
+    }
+
+    /// Frames forwarded per output port over the shard's lifetime
+    /// (indexed like the construction order: local host downlinks first,
+    /// then trunks). The maximum entry across a run is the serialization
+    /// bottleneck of whatever traffic pattern ran — the quantity the
+    /// topology-aware collectives exist to shrink.
+    pub fn output_forwarded(&self) -> &[u64] {
+        &self.output_forwarded
     }
 
     /// Poll-occupancy histogram (frames per sampled poll), the
@@ -291,6 +305,7 @@ impl SwitchShard {
             config,
             inputs,
             outputs,
+            output_forwarded,
             route,
             batch,
             turns,
@@ -336,6 +351,7 @@ impl SwitchShard {
                 return (moved, 0);
             }
             input.deficit -= st.len as i64;
+            output_forwarded[st.out] += 1;
             input.stash.pop_front();
             input.forwarded += 1;
             stats.forwarded += 1;
@@ -380,6 +396,7 @@ impl SwitchShard {
                 })
             {
                 *deficit -= bytes.len() as i64;
+                output_forwarded[out] += 1;
                 *forwarded += 1;
                 stats.forwarded += 1;
             } else {
@@ -433,6 +450,9 @@ impl std::fmt::Debug for SwitchShard {
 pub struct SwitchedCluster {
     pub endpoints: Vec<MemEndpoint>,
     pub shards: Vec<SwitchShard>,
+    /// The wiring the cluster was built over, shared with every endpoint
+    /// (see [`MemEndpoint::topology`]).
+    topo: Arc<SwitchTopology>,
 }
 
 impl SwitchedCluster {
@@ -469,6 +489,7 @@ impl SwitchedCluster {
         assert!(switch.quantum > 0, "quantum must be >= 1 byte");
         let n = topo.hosts();
         let nswitches = topo.switches();
+        let shared_topo = Arc::new(topo.clone());
         let mut inputs: Vec<Vec<SwitchInput>> = (0..nswitches).map(|_| Vec::new()).collect();
         let mut outputs: Vec<Vec<RingProducer>> = (0..nswitches).map(|_| Vec::new()).collect();
         // Host wiring first, in host order: shard `s`'s outputs start with
@@ -488,6 +509,7 @@ impl SwitchedCluster {
                 up_p,
                 down_c,
                 n,
+                shared_topo.clone(),
             ));
         }
         // Trunks: one ring per direction per physical trunk, producer on
@@ -522,6 +544,7 @@ impl SwitchedCluster {
                 SwitchShard {
                     id: s,
                     config: switch,
+                    output_forwarded: vec![0; outputs.len()],
                     inputs,
                     outputs,
                     route,
@@ -533,7 +556,16 @@ impl SwitchedCluster {
                 }
             })
             .collect();
-        SwitchedCluster { endpoints, shards }
+        SwitchedCluster {
+            endpoints,
+            shards,
+            topo: shared_topo,
+        }
+    }
+
+    /// The topology the cluster was wired over.
+    pub fn topology(&self) -> &Arc<SwitchTopology> {
+        &self.topo
     }
 
     /// Like [`SwitchedCluster::new`] with a seeded [`FaultInjector`]

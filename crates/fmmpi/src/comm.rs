@@ -1,12 +1,16 @@
-//! The communicator: ranks, blocking send/recv, and cluster construction.
+//! The communicator: ranks, blocking send/recv, and cluster construction
+//! over both the pairwise mesh and the switch-routed fabric.
 
 use fm_core::endpoint::EndpointConfig;
 use fm_core::mem::{MemCluster, MemEndpoint};
-use fm_core::NodeId;
+use fm_core::{
+    FaultConfig, NodeId, SwitchConfig, SwitchRunner, SwitchTopology, SwitchedCluster, TimeSource,
+};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use crate::collectives::N_COLL_KINDS;
 use crate::matching::{Envelope, MatchQueue};
 use crate::{Rank, Tag};
 
@@ -40,21 +44,19 @@ impl ReduceOp {
     }
 }
 
-/// Builds a set of communicators sharing one in-memory FM cluster.
+/// Builds a set of communicators sharing one in-memory FM cluster —
+/// either the O(n²) pairwise mesh ([`MpiCluster::new`]) or the
+/// switch-routed fabric ([`MpiCluster::switched`] /
+/// [`MpiCluster::switched_wide`]), where every rank has one uplink into a
+/// real [`SwitchedCluster`] and the collectives shape themselves to the
+/// switch topology.
 pub struct MpiCluster;
 
 impl MpiCluster {
     /// `n` ranks with a generously sized FM window (collectives fan out).
     #[allow(clippy::new_ret_no_self)] // a builder: "cluster" = the rank set
     pub fn new(n: usize) -> Vec<Communicator> {
-        Self::with_config(
-            n,
-            EndpointConfig {
-                window: 256,
-                recv_ring: 1024,
-                ..Default::default()
-            },
-        )
+        Self::with_config(n, Self::default_config())
     }
 
     pub fn with_config(n: usize, config: EndpointConfig) -> Vec<Communicator> {
@@ -64,6 +66,123 @@ impl MpiCluster {
             .map(|ep| Communicator::new(ep, n))
             .collect()
     }
+
+    /// `n` ranks over the standard tree wiring for the cluster size
+    /// ([`SwitchTopology::for_cluster`]: one 8-port switch while the hosts
+    /// fit, a chain of 6-host switches beyond). The switch shards run on
+    /// their own threads; they stop when the last communicator drops.
+    pub fn switched(n: usize) -> Vec<Communicator> {
+        Self::switched_over(
+            &SwitchTopology::for_cluster(n),
+            Self::default_config(),
+            SwitchConfig::default(),
+        )
+    }
+
+    /// `n` ranks over the multi-path wiring
+    /// ([`SwitchTopology::for_cluster_wide`]: a two-level fat tree past 8
+    /// hosts), so cross-switch collective traffic ECMP-spreads over the
+    /// spine layer.
+    pub fn switched_wide(n: usize) -> Vec<Communicator> {
+        Self::switched_over(
+            &SwitchTopology::for_cluster_wide(n),
+            Self::default_config(),
+            SwitchConfig::default(),
+        )
+    }
+
+    /// Ranks over an explicit topology with explicit endpoint and switch
+    /// sizing — the general switched constructor.
+    pub fn switched_over(
+        topo: &SwitchTopology,
+        config: EndpointConfig,
+        switch: SwitchConfig,
+    ) -> Vec<Communicator> {
+        Self::wire_switched(SwitchedCluster::with_switch_config(
+            topo,
+            Self::threaded_time(config),
+            switch,
+        ))
+    }
+
+    /// Like [`MpiCluster::switched_over`] with a seeded fault injector on
+    /// every endpoint's transmit path — the collectives-under-loss soak
+    /// harness.
+    pub fn switched_with_faults(
+        topo: &SwitchTopology,
+        config: EndpointConfig,
+        faults: FaultConfig,
+    ) -> Vec<Communicator> {
+        Self::wire_switched(SwitchedCluster::with_faults(
+            topo,
+            Self::threaded_time(config),
+            faults,
+        ))
+    }
+
+    /// Like [`MpiCluster::switched_over`], but also returns the shared
+    /// [`SwitchRunner`] handle. Once every communicator (and its clone of
+    /// the handle) has been dropped, `Arc::try_unwrap` yields the runner
+    /// and [`SwitchRunner::shutdown`] returns the shards with their
+    /// forwarding counters — how `bench_mpi` reads per-link frame counts
+    /// back out of a finished collective run.
+    pub fn switched_instrumented(
+        topo: &SwitchTopology,
+        config: EndpointConfig,
+        switch: SwitchConfig,
+    ) -> (Vec<Communicator>, Arc<SwitchRunner>) {
+        let cluster =
+            SwitchedCluster::with_switch_config(topo, Self::threaded_time(config), switch);
+        let comms = Self::wire_switched(cluster);
+        let fabric = comms[0].fabric.clone().expect("switched comms carry the runner");
+        (comms, fabric)
+    }
+
+    /// Switched MPI ranks run on their own threads and block in spinning
+    /// extract loops. Under [`TimeSource::VirtualTick`] (one tick per
+    /// `extract` call) a waiting rank burns through its retransmission
+    /// timeout in microseconds of wall time and floods the fabric with
+    /// spurious duplicates — a storm that under injected loss can crowd
+    /// out real progress entirely. Deadlines must mean wall time here,
+    /// with the RTT estimator adapting the timeout to the fabric's real
+    /// round-trip (the same policy the UDP wiring hard-codes).
+    fn threaded_time(config: EndpointConfig) -> EndpointConfig {
+        EndpointConfig {
+            time_source: TimeSource::WallMicros,
+            adaptive_rto: true,
+            ..config
+        }
+    }
+
+    fn default_config() -> EndpointConfig {
+        EndpointConfig {
+            window: 256,
+            recv_ring: 1024,
+            ..Default::default()
+        }
+    }
+
+    /// Turn a built switched cluster into communicators. Ordering is the
+    /// PR-7 lesson made structural: every rank's MPI handler registers
+    /// (inside [`Communicator::new`]) *before* the switch shards start
+    /// forwarding, so an eager sender's first data frame can never reach
+    /// an endpoint whose handler table is still empty — it would be
+    /// consumed, acked, and lost (an exactly-once violation the sender
+    /// cannot detect).
+    fn wire_switched(cluster: SwitchedCluster) -> Vec<Communicator> {
+        let n = cluster.endpoints.len();
+        let (endpoints, shards) = cluster.split();
+        let mut comms: Vec<Communicator> = endpoints
+            .into_iter()
+            .map(|ep| Communicator::new(ep, n))
+            .collect();
+        // Only now may frames start moving between endpoints.
+        let fabric = Arc::new(SwitchRunner::start(shards));
+        for c in &mut comms {
+            c.fabric = Some(fabric.clone());
+        }
+        comms
+    }
 }
 
 /// One rank's endpoint plus its MPI state. Move it into the rank's thread.
@@ -72,10 +191,19 @@ pub struct Communicator {
     size: usize,
     inbox: Arc<Mutex<MatchQueue>>,
     next_seq_to: HashMap<Rank, u32>,
+    /// The switch wiring, when the cluster is switch-routed; collectives
+    /// consult it to build spanning trees over the real fabric.
+    topo: Option<Arc<SwitchTopology>>,
+    /// Per-collective-kind epoch counters (see `collectives::coll_tag`).
+    epochs: [u32; N_COLL_KINDS],
+    /// Keeps the shard threads alive while any rank lives; dropping the
+    /// last communicator stops and joins them.
+    fabric: Option<Arc<SwitchRunner>>,
 }
 
 impl Communicator {
     fn new(mut ep: MemEndpoint, size: usize) -> Self {
+        let topo = ep.topology().cloned();
         let inbox: Arc<Mutex<MatchQueue>> = Arc::new(Mutex::new(MatchQueue::new()));
         let sink = inbox.clone();
         let h = ep.register_large_handler(move |_, _src, msg| {
@@ -89,7 +217,36 @@ impl Communicator {
             size,
             inbox,
             next_seq_to: HashMap::new(),
+            topo,
+            epochs: [0; N_COLL_KINDS],
+            fabric: None,
         }
+    }
+
+    /// Wrap an externally wired endpoint (switched or UDP) as an MPI rank.
+    /// `size` is the number of ranks in the cluster; the endpoint's node
+    /// id is the rank.
+    ///
+    /// # Panics
+    /// If the endpoint has already consumed incoming data frames
+    /// (`delivered` or `unknown_handler` nonzero). Handlers must register
+    /// before the first extract: a data frame extracted before the MPI
+    /// handler exists is consumed and acked as unknown-handler, so the
+    /// sender never retransmits it — a silent message loss this guard
+    /// turns into a loud construction error. Handshake traffic (UDP
+    /// hellos, acks) does not trip it.
+    pub fn adopt(ep: MemEndpoint, size: usize) -> Self {
+        let stats = ep.stats();
+        assert!(
+            stats.delivered == 0 && stats.unknown_handler == 0,
+            "handlers must register before the first extract: endpoint {} already \
+             consumed {} data frame(s) ({} unknown-handler) before adoption",
+            ep.node_id().0,
+            stats.delivered + stats.unknown_handler,
+            stats.unknown_handler,
+        );
+        assert!((ep.node_id().index()) < size, "node id outside the rank space");
+        Communicator::new(ep, size)
     }
 
     /// This process's rank.
@@ -100,6 +257,12 @@ impl Communicator {
     /// Number of ranks in the cluster.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// The switch topology this rank is wired into (`None` on the pairwise
+    /// mesh and UDP wirings).
+    pub fn topology(&self) -> Option<&Arc<SwitchTopology>> {
+        self.topo.as_ref()
     }
 
     /// Blocking tagged send of arbitrary size.
@@ -164,6 +327,14 @@ impl Communicator {
         self.inbox.lock().reordered
     }
 
+    /// Matched-queue occupancy: messages delivered but not yet received
+    /// (visible) plus messages parked for sequence repair. Zero once the
+    /// rank has received everything addressed to it — the exactly-once
+    /// ledger the fault soaks audit.
+    pub fn match_pending(&self) -> usize {
+        self.inbox.lock().pending()
+    }
+
     /// Underlying FM endpoint statistics.
     pub fn fm_stats(&self) -> fm_core::EndpointStats {
         self.ep.stats()
@@ -178,6 +349,14 @@ impl Communicator {
     pub(crate) fn recv_reserved(&mut self, src: Rank, tag: Tag) -> Vec<u8> {
         let (_, _, data) = self.recv(Some(src), Some(tag));
         data
+    }
+
+    /// Next epoch for one collective kind (post-increment; wraps within
+    /// the kind's tag sub-space at use time, see `collectives::coll_tag`).
+    pub(crate) fn bump_epoch(&mut self, kind: usize) -> u32 {
+        let e = self.epochs[kind];
+        self.epochs[kind] = e.wrapping_add(1);
+        e
     }
 }
 
@@ -269,5 +448,37 @@ mod tests {
         assert_eq!(ReduceOp::Prod.apply(2.0, 3.0), 6.0);
         assert_eq!(ReduceOp::Min.apply(2.0, 3.0), 2.0);
         assert_eq!(ReduceOp::Max.apply(2.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn switched_ranks_see_the_topology() {
+        let comms = MpiCluster::switched(4);
+        for c in &comms {
+            let topo = c.topology().expect("switched rank carries its wiring");
+            assert_eq!(topo.hosts(), 4);
+            assert_eq!(topo.switches(), 1);
+        }
+        assert!(MpiCluster::new(2)[0].topology().is_none());
+    }
+
+    #[test]
+    fn switched_send_recv_crosses_switches() {
+        // 12 ranks on a 2-switch chain: 0 -> 11 crosses a trunk.
+        let mut comms = MpiCluster::switched(12);
+        let mut c11 = comms.pop().unwrap();
+        let t = std::thread::spawn(move || {
+            let (src, _, data) = c11.recv(Some(0), Some(Tag(1)));
+            assert_eq!((src, data.as_slice()), (0, &b"over the trunk"[..]));
+            c11.send(0, Tag(2), b"ack");
+        });
+        comms[0].send(11, Tag(1), b"over the trunk");
+        let (_, _, reply) = comms[0].recv(Some(11), Some(Tag(2)));
+        assert_eq!(reply, b"ack");
+        t.join().unwrap();
+        // Drain trailing acks so shard threads can stop cleanly.
+        for _ in 0..10 {
+            comms[0].progress();
+            std::thread::yield_now();
+        }
     }
 }

@@ -8,8 +8,9 @@
 //! and rings) — groups are typically small; the log-depth versions live on
 //! the full communicator in [`crate::collectives`].
 
+use crate::collectives::{bytes_to_f64s, combine, f64s_to_bytes};
 use crate::comm::{Communicator, ReduceOp};
-use crate::{Rank, Tag};
+use crate::{MpiError, Rank, Tag};
 
 /// Tag space for group-scoped traffic: `BASE + context * STRIDE + op`.
 const GROUP_TAG_BASE: u32 = Tag::RESERVED + 0xA000;
@@ -96,31 +97,27 @@ impl Group {
     }
 
     /// Reduce to group rank 0 (linear gather), then broadcast — an
-    /// allreduce over the group.
-    pub fn allreduce(&self, comm: &mut Communicator, data: &[f64], op: ReduceOp) -> Vec<f64> {
+    /// allreduce over the group. Malformed peer contributions surface as
+    /// [`MpiError`] instead of aborting this rank.
+    pub fn allreduce(
+        &self,
+        comm: &mut Communicator,
+        data: &[f64],
+        op: ReduceOp,
+    ) -> Result<Vec<f64>, MpiError> {
         let tag = self.tag(OP_REDUCE);
         let mut acc = data.to_vec();
         if self.my_index == 0 {
             for gr in 1..self.size() as Rank {
-                let theirs = comm.recv_reserved(self.global(gr), tag);
-                assert_eq!(theirs.len(), acc.len() * 8, "length mismatch in group");
-                for (i, c) in theirs.chunks_exact(8).enumerate() {
-                    let v = f64::from_le_bytes(c.try_into().expect("8B"));
-                    acc[i] = op.apply(acc[i], v);
-                }
+                let src = self.global(gr);
+                let theirs = bytes_to_f64s(src, &comm.recv_reserved(src, tag))?;
+                combine(&mut acc, src, &theirs, op)?;
             }
         } else {
-            let bytes: Vec<u8> = acc.iter().flat_map(|x| x.to_le_bytes()).collect();
-            comm.send_reserved(self.global(0), tag, &bytes);
+            comm.send_reserved(self.global(0), tag, &f64s_to_bytes(&acc));
         }
-        let out = self.bcast(
-            comm,
-            0,
-            &acc.iter().flat_map(|x| x.to_le_bytes()).collect::<Vec<u8>>(),
-        );
-        out.chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().expect("8B")))
-            .collect()
+        let out = self.bcast(comm, 0, &f64s_to_bytes(&acc));
+        bytes_to_f64s(self.global(0), &out)
     }
 
     /// Gather members' bytes at group rank `root` (group-rank order).
@@ -282,7 +279,7 @@ mod tests {
             let g = c.split(color, 0);
             g.barrier(c);
             // Each group reduces its own global ranks.
-            let sum = g.allreduce(c, &[c.rank() as f64], ReduceOp::Sum)[0];
+            let sum = g.allreduce(c, &[c.rank() as f64], ReduceOp::Sum).unwrap()[0];
             // Leader broadcasts a group-specific token.
             let token = g.bcast(c, 0, &[g.global(0) as u8 + 100]);
             g.barrier(c);
@@ -315,7 +312,7 @@ mod tests {
         let out = run_ranks(3, |c| {
             let g = c.split(c.rank() as u32, 0); // everyone alone
             g.barrier(c);
-            let v = g.allreduce(c, &[7.0], ReduceOp::Max);
+            let v = g.allreduce(c, &[7.0], ReduceOp::Max).unwrap();
             (g.size(), v[0])
         });
         for (size, v) in out {

@@ -51,6 +51,46 @@ pub use matching::{Envelope, MatchQueue};
 /// A process rank within the cluster (0-based).
 pub type Rank = u16;
 
+/// MPI-level failures surfaced to the application instead of aborting the
+/// rank. The reductions decode peer payloads; a malformed contribution is
+/// the *peer's* bug (or hostile traffic), so the local rank reports it as
+/// an error rather than panicking — the same promotion-from-assert policy
+/// the core protocol guards follow in release builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpiError {
+    /// A reduction contribution was not a whole number of `f64`s.
+    MisalignedReduce {
+        /// Rank whose payload was malformed.
+        src: Rank,
+        /// Its payload length in bytes.
+        len: usize,
+    },
+    /// A contribution's element count disagreed with the local buffer —
+    /// the ranks called the collective with different lengths.
+    LengthMismatch {
+        src: Rank,
+        got: usize,
+        expect: usize,
+    },
+}
+
+impl std::fmt::Display for MpiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpiError::MisalignedReduce { src, len } => write!(
+                f,
+                "reduce contribution from rank {src} is {len} bytes, not a whole number of f64s"
+            ),
+            MpiError::LengthMismatch { src, got, expect } => write!(
+                f,
+                "rank {src} contributed {got} elements where this rank has {expect}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
 /// An MPI-style message tag. Tags at or above [`Tag::RESERVED`] are used
 /// internally by the collectives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

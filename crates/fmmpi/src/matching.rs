@@ -77,6 +77,13 @@ impl MatchQueue {
         self.parked.values().map(BTreeMap::len).sum()
     }
 
+    /// Total occupancy: matchable plus parked. Zero exactly when every
+    /// admitted message has been taken — what "exactly once, nothing left
+    /// over" looks like from the matching layer.
+    pub fn pending(&self) -> usize {
+        self.visible_len() + self.parked_len()
+    }
+
     /// Admit an arriving envelope; it becomes matchable once contiguous
     /// with everything previously admitted from its source.
     pub fn push(&mut self, env: Envelope) {

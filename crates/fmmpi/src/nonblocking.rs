@@ -6,11 +6,15 @@
 //! just `send`; the interesting nonblocking primitive is the receive,
 //! exposed as [`RecvRequest`]: post it, compute, then `wait`/`test`.
 
+use crate::collectives::{
+    bytes_to_f64s, coll_tag, f64s_to_bytes, KIND_ALLGATHER, KIND_ALLTOALLV, KIND_SCAN,
+};
 use crate::comm::{Communicator, ReduceOp};
-use crate::{Rank, Tag};
+use crate::{MpiError, Rank, Tag};
 
 /// Internal tag space for the second-tier collectives (distinct from the
-/// spaces used in `collectives.rs`).
+/// spaces used in `collectives.rs`). Like those, each kind owns a
+/// `COLL_SPAN`-tag sub-space and per-call epochs wrap within it.
 const TAG_ALLGATHER: u32 = Tag::RESERVED + 0x6000;
 const TAG_ALLTOALLV: u32 = Tag::RESERVED + 0x7000;
 const TAG_SCAN: u32 = Tag::RESERVED + 0x8000;
@@ -71,7 +75,7 @@ impl Communicator {
         }
         let right = ((me + 1) % n) as Rank;
         let left = ((me + n - 1) % n) as Rank;
-        let tag = Tag(TAG_ALLGATHER);
+        let tag = coll_tag(TAG_ALLGATHER, self.bump_epoch(KIND_ALLGATHER));
         // Pass blocks around the ring; step k forwards the block that
         // originated k hops to the left.
         let mut carry = data.to_vec();
@@ -89,7 +93,7 @@ impl Communicator {
     pub fn alltoallv(&mut self, chunks: &[Vec<u8>]) -> Vec<Vec<u8>> {
         assert_eq!(chunks.len(), self.size(), "one chunk per rank");
         let me = self.rank();
-        let tag = Tag(TAG_ALLTOALLV);
+        let tag = coll_tag(TAG_ALLTOALLV, self.bump_epoch(KIND_ALLTOALLV));
         let mut out = vec![Vec::new(); self.size()];
         out[me as usize] = chunks[me as usize].clone();
         for r in 0..self.size() as Rank {
@@ -107,24 +111,29 @@ impl Communicator {
 
     /// Inclusive prefix reduction: rank `i` returns `op` applied over the
     /// contributions of ranks `0..=i` (linear chain — prefix order is
-    /// inherently sequential; the pipeline overlaps across elements).
-    pub fn scan(&mut self, data: &[f64], op: ReduceOp) -> Vec<f64> {
+    /// inherently sequential; the pipeline overlaps across elements). A
+    /// malformed or wrong-length upstream prefix surfaces as [`MpiError`].
+    pub fn scan(&mut self, data: &[f64], op: ReduceOp) -> Result<Vec<f64>, MpiError> {
         let me = self.rank();
-        let tag = Tag(TAG_SCAN);
+        let tag = coll_tag(TAG_SCAN, self.bump_epoch(KIND_SCAN));
         let mut acc = data.to_vec();
         if me > 0 {
-            let prev = self.recv_reserved(me - 1, tag);
-            assert_eq!(prev.len(), acc.len() * 8, "scan length mismatch");
-            for (i, c) in prev.chunks_exact(8).enumerate() {
-                let v = f64::from_le_bytes(c.try_into().expect("8B"));
-                acc[i] = op.apply(v, acc[i]);
+            let prev = bytes_to_f64s(me - 1, &self.recv_reserved(me - 1, tag))?;
+            if prev.len() != acc.len() {
+                return Err(MpiError::LengthMismatch {
+                    src: me - 1,
+                    got: prev.len(),
+                    expect: acc.len(),
+                });
+            }
+            for (a, v) in acc.iter_mut().zip(prev) {
+                *a = op.apply(v, *a);
             }
         }
         if (me as usize) + 1 < self.size() {
-            let bytes: Vec<u8> = acc.iter().flat_map(|x| x.to_le_bytes()).collect();
-            self.send_reserved(me + 1, tag, &bytes);
+            self.send_reserved(me + 1, tag, &f64s_to_bytes(&acc));
         }
-        acc
+        Ok(acc)
     }
 }
 
@@ -231,7 +240,9 @@ mod tests {
     #[test]
     fn scan_prefix_sums() {
         let n = 5usize;
-        let out = run_ranks(n, |c| c.scan(&[c.rank() as f64 + 1.0, 1.0], ReduceOp::Sum));
+        let out = run_ranks(n, |c| {
+            c.scan(&[c.rank() as f64 + 1.0, 1.0], ReduceOp::Sum).unwrap()
+        });
         for (i, v) in out.iter().enumerate() {
             let expect: f64 = (1..=i + 1).map(|x| x as f64).sum();
             assert_eq!(v, &vec![expect, (i + 1) as f64], "rank {i}");
@@ -241,7 +252,9 @@ mod tests {
     #[test]
     fn scan_max_running_maximum() {
         let vals = [3.0f64, 1.0, 4.0, 1.0, 5.0];
-        let out = run_ranks(5, move |c| c.scan(&[vals[c.rank() as usize]], ReduceOp::Max));
+        let out = run_ranks(5, move |c| {
+            c.scan(&[vals[c.rank() as usize]], ReduceOp::Max).unwrap()
+        });
         let expect = [3.0, 3.0, 4.0, 4.0, 5.0];
         for (i, v) in out.iter().enumerate() {
             assert_eq!(v[0], expect[i]);

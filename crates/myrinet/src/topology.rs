@@ -349,6 +349,37 @@ impl SwitchTopology {
     pub fn hops(&self, src: NodeId, dst: NodeId) -> usize {
         self.dist[self.switch_of(src)][self.switch_of(dst)] + 1
     }
+
+    /// BFS spanning tree of the switch graph rooted at `root_switch`:
+    /// `parents[s]` is `s`'s parent switch (`None` exactly at the root).
+    /// Deterministic — neighbours are visited in index order — so every
+    /// host that computes the tree for the same root gets the same shape.
+    /// This is the skeleton collective layers hang their fan-in/fan-out
+    /// on: each tree edge is one trunk hop, so a payload forwarded only
+    /// along tree edges crosses every trunk at most once in each
+    /// direction.
+    ///
+    /// # Panics
+    /// If `root_switch` is out of range.
+    pub fn spanning_parents(&self, root_switch: usize) -> Vec<Option<usize>> {
+        assert!(root_switch < self.switches(), "switch {root_switch} out of range");
+        let mut parents = vec![None; self.switches()];
+        let mut seen = vec![false; self.switches()];
+        seen[root_switch] = true;
+        let mut queue = std::collections::VecDeque::from([root_switch]);
+        while let Some(s) = queue.pop_front() {
+            for &nb in &self.neighbors[s] {
+                if !seen[nb] {
+                    seen[nb] = true;
+                    parents[nb] = Some(s);
+                    queue.push_back(nb);
+                }
+            }
+        }
+        // `custom` already rejected disconnected graphs.
+        debug_assert!(seen.iter().all(|&v| v));
+        parents
+    }
 }
 
 #[cfg(test)]
@@ -484,6 +515,33 @@ mod tests {
             }
         }
         assert!(used.len() > 1, "9 flows over 4 spines must spread: {used:?}");
+    }
+
+    #[test]
+    fn spanning_parents_cover_chain_and_fat_tree() {
+        // Chain of 3 switches rooted in the middle: both ends point in.
+        let chain = SwitchTopology::chain(18, 6, 8);
+        assert_eq!(chain.spanning_parents(1), vec![Some(1), None, Some(1)]);
+        // Fat tree: every leaf reaches the root leaf through one spine,
+        // and every switch except the root has a parent.
+        let ft = SwitchTopology::fat_tree(12, 3, 2, 8);
+        let parents = ft.spanning_parents(0);
+        assert_eq!(parents[0], None);
+        for (s, p) in parents.iter().enumerate().skip(1) {
+            let p = p.expect("connected");
+            assert!(ft.neighbors_of(s).contains(&p), "parent must be adjacent");
+        }
+        // Walking up from any switch terminates at the root.
+        for start in 0..ft.switches() {
+            let mut s = start;
+            let mut hops = 0;
+            while let Some(p) = parents[s] {
+                s = p;
+                hops += 1;
+                assert!(hops <= ft.switches(), "parent chain must not cycle");
+            }
+            assert_eq!(s, 0);
+        }
     }
 
     #[test]

@@ -1,42 +1,51 @@
-//! A 1-D heat-diffusion stencil on fm-mpi — the kind of tightly-coupled
-//! parallel computation the paper argues workstation clusters could not
-//! run over TCP/PVM but can over a low-latency layer like FM.
+//! The 1-D heat stencil scaled onto the switch-routed cluster: 64 ranks
+//! across a fat tree (11 leaf switches, 4 spines), halo exchanges with
+//! neighbours every step, and a topology-aware allreduce checking heat
+//! conservation — the `examples/stencil.rs` workload grown from a
+//! 4-rank pairwise mesh to the cluster the paper's Section 7 aims FM at.
 //!
 //! ```sh
-//! cargo run --release --example stencil
+//! cargo run --release --example mpi_stencil            # 200 steps
+//! cargo run --release --example mpi_stencil -- --smoke # CI-sized
 //! ```
-//!
-//! Each rank owns a slab of the rod and exchanges one-cell halos with its
-//! neighbours every timestep (two small messages per step — exactly the
-//! short-message traffic FM optimizes for), then the ranks allreduce the
-//! total heat to verify conservation.
 
+use fm_repro::fm_core::SwitchTopology;
 use fm_repro::fm_mpi::{MpiCluster, ReduceOp, Tag};
 
-const RANKS: usize = 4;
-const CELLS_PER_RANK: usize = 64;
-const STEPS: usize = 200;
+const RANKS: usize = 64;
+const CELLS_PER_RANK: usize = 16;
 const ALPHA: f64 = 0.25;
 
 const HALO_LEFT: Tag = Tag(1);
 const HALO_RIGHT: Tag = Tag(2);
 
 fn main() {
-    let comms = MpiCluster::new(RANKS);
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let steps: usize = if smoke { 10 } else { 200 };
+
+    let topo = SwitchTopology::for_cluster_wide(RANKS);
+    println!(
+        "mpi_stencil: {RANKS} ranks x {CELLS_PER_RANK} cells over {} switches, {steps} steps",
+        topo.switches()
+    );
+
+    let comms = MpiCluster::switched_wide(RANKS);
     let handles: Vec<_> = comms
         .into_iter()
         .map(|mut comm| {
             std::thread::spawn(move || {
                 let me = comm.rank() as usize;
                 let n = comm.size();
-                // Initial condition: a hot spike in rank 0's first cell.
                 let mut u = vec![0.0f64; CELLS_PER_RANK + 2]; // +2 ghost cells
                 if me == 0 {
                     u[1] = 1000.0;
                 }
 
-                for _step in 0..STEPS {
-                    // Halo exchange with neighbours (non-periodic rod).
+                for _step in 0..steps {
+                    // Halo exchange with rank-space neighbours. Adjacent
+                    // ranks usually share a leaf switch; at slab borders
+                    // the halo crosses a trunk — the traffic mix the
+                    // fat-tree wiring is built for.
                     if me + 1 < n {
                         comm.send(
                             (me + 1) as u16,
@@ -56,22 +65,23 @@ fn main() {
                         u[CELLS_PER_RANK + 1] =
                             f64::from_le_bytes(d.try_into().expect("8 bytes"));
                     }
-                    // Explicit diffusion update on the interior.
                     let prev = u.clone();
                     for i in 1..=CELLS_PER_RANK {
                         u[i] = prev[i] + ALPHA * (prev[i - 1] - 2.0 * prev[i] + prev[i + 1]);
                     }
-                    // Boundary cells at the rod's ends reflect (insulated).
+                    // Insulated rod ends.
                     if me == 0 {
                         u[1] = prev[1] + ALPHA * (prev[2] - prev[1]);
                     }
                     if me + 1 == n {
-                        u[CELLS_PER_RANK] =
-                            prev[CELLS_PER_RANK] + ALPHA * (prev[CELLS_PER_RANK - 1] - prev[CELLS_PER_RANK]);
+                        u[CELLS_PER_RANK] = prev[CELLS_PER_RANK]
+                            + ALPHA * (prev[CELLS_PER_RANK - 1] - prev[CELLS_PER_RANK]);
                     }
                 }
 
                 let local: f64 = u[1..=CELLS_PER_RANK].iter().sum();
+                // Both allreduces ride the spanning tree / recursive
+                // doubling over the fat tree (64 is a power of two).
                 let total = comm
                     .allreduce(&[local], ReduceOp::Sum)
                     .expect("aligned contributions")[0];
@@ -82,6 +92,10 @@ fn main() {
                     )
                     .expect("aligned contributions")[0];
                 comm.barrier();
+                for _ in 0..10 {
+                    comm.progress();
+                    std::thread::yield_now();
+                }
                 (me, local, total, peak, comm.fm_stats())
             })
         })
@@ -90,19 +104,19 @@ fn main() {
     let mut results: Vec<_> = handles.into_iter().map(|h| h.join().expect("rank")).collect();
     results.sort_by_key(|r| r.0);
 
-    println!("1-D heat diffusion: {RANKS} ranks x {CELLS_PER_RANK} cells, {STEPS} steps\n");
-    for &(me, local, _, _, stats) in &results {
-        println!(
-            "rank {me}: local heat {local:>9.3}   ({} frames sent, {} delivered)",
-            stats.sent, stats.delivered
-        );
-    }
     let (_, _, total, peak, _) = results[0];
-    println!("\nglobal heat  = {total:.6} (conserved: initial spike was 1000)");
+    for &(_, _, t, p, _) in &results {
+        assert_eq!(t.to_bits(), total.to_bits(), "allreduce must agree bit-exactly");
+        assert_eq!(p.to_bits(), peak.to_bits(), "allreduce must agree bit-exactly");
+    }
+    let sent: u64 = results.iter().map(|r| r.4.sent).sum();
+    let retransmitted: u64 = results.iter().map(|r| r.4.retransmitted).sum();
+    println!("global heat  = {total:.6} (initial spike was 1000)");
     println!("global peak  = {peak:.3}");
+    println!("frames sent  = {sent} ({retransmitted} retransmitted)");
     assert!(
         (total - 1000.0).abs() < 1e-6,
         "diffusion must conserve heat"
     );
-    println!("heat conservation verified across {RANKS} ranks");
+    println!("heat conservation verified across {RANKS} ranks and {} switches", topo.switches());
 }

@@ -24,7 +24,9 @@ fn main() {
 
                 let x = (me as f64) + 1.0;
                 let mine = if color == 0 { x * x } else { x * x * x };
-                let team_total = team.allreduce(&mut c, &[mine], ReduceOp::Sum)[0];
+                let team_total = team
+                    .allreduce(&mut c, &[mine], ReduceOp::Sum)
+                    .expect("aligned contributions")[0];
 
                 // Team leaders (group rank 0) swap totals.
                 let other_total = if team.rank() == 0 {

@@ -52,7 +52,7 @@ fn distributed_dot_product_matches_serial() {
             .zip(&y[me * chunk..(me + 1) * chunk])
             .map(|(a, b)| a * b)
             .sum();
-        c.allreduce(&[local], ReduceOp::Sum)[0]
+        c.allreduce(&[local], ReduceOp::Sum).expect("aligned contributions")[0]
     });
     for got in outs {
         assert!(
