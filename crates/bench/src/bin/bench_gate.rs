@@ -161,6 +161,13 @@ fn probe_trace_one_in(path: &str) -> Option<f64> {
     json_number(path, "trace_one_in")
 }
 
+/// Beacon pacing (micros; 0 = beacons off) the instrumented probe ran
+/// with — recorded so the overhead number covers the whole observability
+/// plane, not just in-process counters.
+fn probe_beacon_us(path: &str) -> Option<f64> {
+    json_number(path, "beacon_us")
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
@@ -231,8 +238,8 @@ fn main() {
     }
 
     eprintln!("bench_gate: full-stack ping-pong ({rounds} rounds/fabric)...");
-    let ring_pp = pingpong(FabricKind::Ring, None, Default::default(), warmup, rounds);
-    let chan_pp = pingpong(FabricKind::Channel, None, Default::default(), warmup, rounds);
+    let ring_pp = pingpong(FabricKind::Ring, None, Default::default(), warmup, rounds, None);
+    let chan_pp = pingpong(FabricKind::Channel, None, Default::default(), warmup, rounds, None);
 
     eprintln!("bench_gate: reliability clean path (zero-rate injector, {rounds} rounds)...");
     let clean_faulty_pp = pingpong(
@@ -241,6 +248,7 @@ fn main() {
         Default::default(),
         warmup,
         rounds,
+        None,
     );
 
     let allocs_per_1m = ring_pp.steady.allocs as f64 * 1e6 / ring_pp.frames as f64;
@@ -264,6 +272,7 @@ fn main() {
     // The instrumented probe's causal-trace sample rate, recorded so the
     // overhead number is interpretable (tracing cost scales with it).
     let tel_trace_one_in = tel_on_path.as_deref().and_then(probe_trace_one_in);
+    let tel_beacon_us = tel_on_path.as_deref().and_then(probe_beacon_us);
     for (path, parsed) in [(&tel_on_path, tel_on), (&tel_off_path, tel_off)] {
         if let Some(p) = path {
             if parsed.is_none() {
@@ -309,6 +318,7 @@ fn main() {
             "  }},\n",
             "  \"telemetry\": {{\n",
             "    \"trace_one_in\": {tel_rate},\n",
+            "    \"beacon_us\": {tel_beacon},\n",
             "    \"on_msgs_per_sec\": {tel_on},\n",
             "    \"off_msgs_per_sec\": {tel_off},\n",
             "    \"overhead_pct\": {tel_pct},\n",
@@ -360,6 +370,10 @@ fn main() {
         cfp99 = clean_faulty_pp.p99_ns,
         inj_pct = injector_overhead * 100.0,
         tel_rate = match tel_trace_one_in {
+            Some(v) => format!("{v:.0}"),
+            None => "null".to_string(),
+        },
+        tel_beacon = match tel_beacon_us {
             Some(v) => format!("{v:.0}"),
             None => "null".to_string(),
         },

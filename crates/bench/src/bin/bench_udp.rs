@@ -21,6 +21,11 @@
 //! address on its command line and hellos first; child 0 learns 1's
 //! address from the handshake. `--smoke` shrinks the message counts for
 //! quick runs; CI's `udp-soak` job runs the full 20k-per-stream soak.
+//!
+//! `--beacon ADDR` points every endpoint (both children and the in-process
+//! dead-peer prober) at a telemetry collector: each enables out-of-band
+//! beacons toward ADDR and flushes a final beacon before exiting, so a
+//! separately-running `fm_collector` can watch the soak live.
 
 use fm_core::{
     EndpointConfig, FaultConfig, HandlerId, LinkFaults, MemEndpoint, NodeId, Roster, SendError,
@@ -45,6 +50,10 @@ const RUN_SEED: u64 = 0xFA57_11E7;
 const PING_BYTES: usize = 64;
 /// Wall-clock cap per phase; hitting it means a wedge.
 const WEDGE_AFTER: Duration = Duration::from_secs(120);
+/// Beacon pacing when `--beacon` is given: 50 ms keeps the collector's
+/// delta windows wide enough that a scheduler stall's retransmit burst is
+/// diluted by the surrounding clean traffic (no false storm alarms).
+const BEACON_US: u64 = 50_000;
 
 fn udp_config() -> EndpointConfig {
     EndpointConfig {
@@ -87,6 +96,7 @@ fn main() {
 
     let mut smoke = false;
     let mut out_path = "BENCH_udp.json".to_string();
+    let mut beacon: Option<SocketAddr> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -98,9 +108,16 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--beacon" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(addr) => beacon = Some(addr),
+                None => {
+                    eprintln!("error: --beacon requires a socket address");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("error: unknown argument `{other}`");
-                eprintln!("usage: bench_udp [--smoke] [--out PATH]");
+                eprintln!("usage: bench_udp [--smoke] [--out PATH] [--beacon ADDR]");
                 std::process::exit(2);
             }
         }
@@ -113,11 +130,11 @@ fn main() {
         "bench_udp: two-process soak, {soak_msgs} msgs/stream at {:.0}% faults...",
         FAULT_RATE * 100.0
     );
-    let soak = run_pair("soak", soak_msgs);
+    let soak = run_pair("soak", soak_msgs, beacon);
     eprintln!("bench_udp: two-process pingpong, {ping_rounds} rounds...");
-    let ping = run_pair("pingpong", ping_rounds);
+    let ping = run_pair("pingpong", ping_rounds, beacon);
     eprintln!("bench_udp: dead-peer fast-fail...");
-    let detect_ms = run_dead_peer();
+    let detect_ms = run_dead_peer(beacon);
 
     let delivered: u64 = soak.get("delivered");
     assert_eq!(
@@ -222,7 +239,7 @@ impl Results {
 /// Spawn the two child processes for `workload`, wire their discovery
 /// (child 0's announced port goes on child 1's command line), and merge
 /// their reported results. Panics if either child fails.
-fn run_pair(workload: &str, msgs: u32) -> Results {
+fn run_pair(workload: &str, msgs: u32, beacon: Option<SocketAddr>) -> Results {
     let exe = std::env::current_exe().expect("own executable path");
     let spawn = |id: usize, peer: Option<SocketAddr>| {
         let mut cmd = Command::new(&exe);
@@ -236,6 +253,9 @@ fn run_pair(workload: &str, msgs: u32) -> Results {
             .stderr(Stdio::inherit());
         if let Some(addr) = peer {
             cmd.arg("--peer").arg(addr.to_string());
+        }
+        if let Some(addr) = beacon {
+            cmd.arg("--beacon").arg(addr.to_string());
         }
         cmd.spawn().expect("spawn child process")
     };
@@ -279,7 +299,7 @@ fn run_pair(workload: &str, msgs: u32) -> Results {
 /// Dead-peer fast-fail, measured in-process: the roster names a port that
 /// was bound once and closed, so every frame vanishes; a tight retry
 /// budget must surface `PeerUnreachable` quickly.
-fn run_dead_peer() -> f64 {
+fn run_dead_peer(beacon: Option<SocketAddr>) -> f64 {
     let dead_addr = {
         let s = std::net::UdpSocket::bind("127.0.0.1:0").expect("probe socket");
         s.local_addr().expect("probe addr")
@@ -294,6 +314,9 @@ fn run_dead_peer() -> f64 {
         config,
     )
     .expect("bind dead-peer prober");
+    if let Some(addr) = beacon {
+        ep.enable_beacon(addr, BEACON_US).expect("beacon socket");
+    }
     let h = HandlerId(1);
     let start = Instant::now();
     loop {
@@ -313,6 +336,7 @@ fn run_dead_peer() -> f64 {
     }
     let detect = start.elapsed().as_secs_f64() * 1e3;
     assert!(ep.is_peer_dead(NodeId(2)));
+    ep.emit_beacon();
     detect
 }
 
@@ -323,6 +347,7 @@ fn run_child(args: &[String]) {
     let mut id = usize::MAX;
     let mut msgs = 0u32;
     let mut peer: Option<SocketAddr> = None;
+    let mut beacon: Option<SocketAddr> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -330,6 +355,7 @@ fn run_child(args: &[String]) {
             "--id" => id = it.next().expect("id").parse().expect("id"),
             "--msgs" => msgs = it.next().expect("msgs").parse().expect("msgs"),
             "--peer" => peer = Some(it.next().expect("peer").parse().expect("peer addr")),
+            "--beacon" => beacon = Some(it.next().expect("beacon").parse().expect("beacon addr")),
             other => panic!("unknown child argument `{other}`"),
         }
     }
@@ -343,12 +369,17 @@ fn run_child(args: &[String]) {
     if let Some(addr) = peer {
         roster.set(other, addr);
     }
-    let ep = MemEndpoint::bind_udp(
+    let mut ep = MemEndpoint::bind_udp(
         me,
         UdpConfig::new("127.0.0.1:0".parse().unwrap(), roster),
         udp_config(),
     )
     .expect("bind child endpoint");
+    if let Some(addr) = beacon {
+        // Paced from extract(); the workloads below pump constantly, so
+        // the collector sees a live stream without any extra plumbing.
+        ep.enable_beacon(addr, BEACON_US).expect("beacon socket");
+    }
     let local = ep.udp_local_addr().expect("udp endpoint has an address");
     // Child 0's announcement; harmless from child 1.
     println!("PORT {local}");
@@ -445,6 +476,7 @@ fn child_soak(mut ep: MemEndpoint, me: NodeId, other: NodeId, msgs: u32, deadlin
         me.0
     );
 
+    ep.emit_beacon(); // final snapshot so the collector sees the end state
     let stats = ep.stats();
     let wire = ep.udp_stats().expect("udp wiring");
     let rtt = ep.rtt();
@@ -523,6 +555,7 @@ fn child_pingpong(mut ep: MemEndpoint, id: usize, other: NodeId, msgs: u32, dead
             assert!(Instant::now() < deadline, "echo side wedged at {d}/{msgs}");
             std::thread::yield_now();
         }
+        ep.emit_beacon();
         return;
     }
 
@@ -548,6 +581,7 @@ fn child_pingpong(mut ep: MemEndpoint, id: usize, other: NodeId, msgs: u32, dead
         ep.extract();
         std::thread::yield_now();
     }
+    ep.emit_beacon();
 
     rtts_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let pct = |p: f64| rtts_us[((rtts_us.len() - 1) as f64 * p) as usize];

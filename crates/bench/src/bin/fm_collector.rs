@@ -1,0 +1,138 @@
+//! Standalone live collector: the observability plane's long-running
+//! daemon form.
+//!
+//! Binds the beacon ingest socket, polls it forever (or for
+//! `--duration-secs`), and periodically rewrites two artifacts:
+//!
+//! * `--prom PATH` — rolling Prometheus text exposition (counters,
+//!   histogram octaves, per-shard queue-depth/deficit series, detector
+//!   alarm totals);
+//! * `--trace PATH` — the merged chrome-trace window (clock-synced span
+//!   flows plus switch-shard lanes), loadable in `chrome://tracing` or
+//!   Perfetto mid-run.
+//!
+//! Alarms (retransmit storm, incast capture, dead peer) print to stderr
+//! the moment a detector fires. Pair it with any beacon-enabled workload:
+//!
+//! ```text
+//! fm_collector --listen 127.0.0.1:9200 &
+//! bench_udp --smoke --beacon 127.0.0.1:9200
+//! ```
+//!
+//! Exit (Ctrl-C or `--duration-secs`) leaves the last written artifacts
+//! on disk; every write is whole-file, so readers never see a torn view.
+
+use fm_telemetry::collector::Collector;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut listen = "127.0.0.1:9200".to_string();
+    let mut prom_path = "obs.prom".to_string();
+    let mut trace_path = "obs.trace.json".to_string();
+    let mut interval_ms: u64 = 1_000;
+    let mut duration_secs: u64 = 0; // 0 = run until killed
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("error: {flag} requires a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match a.as_str() {
+            "--listen" => listen = take("--listen"),
+            "--prom" => prom_path = take("--prom"),
+            "--trace" => trace_path = take("--trace"),
+            "--interval-ms" => {
+                interval_ms = take("--interval-ms").parse().unwrap_or_else(|e| {
+                    eprintln!("error: bad --interval-ms: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--duration-secs" => {
+                duration_secs = take("--duration-secs").parse().unwrap_or_else(|e| {
+                    eprintln!("error: bad --duration-secs: {e}");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!(
+                    "usage: fm_collector [--listen ADDR] [--prom PATH] [--trace PATH] \
+                     [--interval-ms N] [--duration-secs N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut collector = Collector::bind(&listen).unwrap_or_else(|e| {
+        eprintln!("error: cannot bind {listen}: {e}");
+        std::process::exit(1);
+    });
+    let addr = collector.local_addr().expect("bound socket has an address");
+    eprintln!(
+        "fm_collector: listening on {addr}, writing {prom_path} + {trace_path} \
+         every {interval_ms} ms"
+    );
+
+    let started = Instant::now();
+    let mut next_write = Instant::now() + Duration::from_millis(interval_ms);
+    let mut alarms_seen = 0usize;
+    let mut last_beacons = 0u64;
+    loop {
+        let got = collector.poll();
+        // Announce detector firings as they happen, not at write time.
+        let alarms = collector.alarms();
+        for a in &alarms[alarms_seen..] {
+            eprintln!("fm_collector: ALARM {}", a.describe());
+        }
+        alarms_seen = alarms.len();
+
+        if Instant::now() >= next_write {
+            next_write += Duration::from_millis(interval_ms);
+            write_atomic(&prom_path, &collector.prometheus());
+            write_atomic(&trace_path, &collector.chrome_trace());
+            let s = collector.stats;
+            let fresh = s.beacons - last_beacons;
+            last_beacons = s.beacons;
+            eprintln!(
+                "fm_collector: +{fresh} beacons ({} total, {} endpoints, {} shards, \
+                 {} alarms, {} seq gaps)",
+                s.beacons,
+                collector.endpoint_sources().len(),
+                collector.shard_sources().len(),
+                alarms_seen,
+                s.seq_gaps,
+            );
+        }
+
+        if duration_secs > 0 && started.elapsed() >= Duration::from_secs(duration_secs) {
+            break;
+        }
+        if got == 0 {
+            // poll() is nonblocking; a few ms of sleep keeps an idle
+            // collector off the CPU without adding visible beacon latency.
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    write_atomic(&prom_path, &collector.prometheus());
+    write_atomic(&trace_path, &collector.chrome_trace());
+    let (storm, incast, dead) = collector.alarm_counts();
+    eprintln!(
+        "fm_collector: done — {} beacons, alarms: storm {storm} incast {incast} dead {dead}",
+        collector.stats.beacons
+    );
+}
+
+/// Whole-file replace via a temp file + rename, so a concurrent reader
+/// (Prometheus scrape, trace viewer reload) never sees a half-written file.
+fn write_atomic(path: &str, contents: &str) {
+    let tmp = format!("{path}.tmp");
+    if let Err(e) = std::fs::write(&tmp, contents).and_then(|()| std::fs::rename(&tmp, path)) {
+        eprintln!("fm_collector: cannot write {path}: {e}");
+    }
+}

@@ -25,6 +25,8 @@ fn main() {
     // context and record span events. The default matches the production
     // default in `EndpointConfig`; 0 disables tracing entirely.
     let mut trace_one_in: u32 = EndpointConfig::default().trace_one_in;
+    // Out-of-band beacon pacing under test (micros); 0 leaves beacons off.
+    let mut beacon_us: u64 = 0;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -43,9 +45,19 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--beacon-us" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => beacon_us = n,
+                None => {
+                    eprintln!("error: --beacon-us requires an integer");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("error: unknown argument `{other}`");
-                eprintln!("usage: telemetry_probe [--smoke] [--out PATH] [--trace-one-in N]");
+                eprintln!(
+                    "usage: telemetry_probe [--smoke] [--out PATH] [--trace-one-in N] \
+                     [--beacon-us N]"
+                );
                 std::process::exit(2);
             }
         }
@@ -60,16 +72,24 @@ fn main() {
     let (warmup, rounds) = if smoke { (500, 2_000) } else { (20_000, 100_000) };
     let enabled = fm_telemetry::ENABLED;
     eprintln!(
-        "telemetry_probe: ring ping-pong, telemetry {}, trace 1-in-{trace_one_in} \
-         ({REPS} x {rounds} rounds)...",
-        if enabled { "on" } else { "off" }
+        "telemetry_probe: ring ping-pong, telemetry {}, trace 1-in-{trace_one_in}, \
+         beacons {} ({REPS} x {rounds} rounds)...",
+        if enabled { "on" } else { "off" },
+        if beacon_us > 0 {
+            format!("every {beacon_us} us")
+        } else {
+            "off".to_string()
+        },
     );
     let config = EndpointConfig {
         trace_one_in,
         ..Default::default()
     };
     let pp = (0..REPS)
-        .map(|_| pingpong(FabricKind::Ring, None, config, warmup, rounds))
+        .map(|_| {
+            let beacon = (beacon_us > 0).then_some(beacon_us);
+            pingpong(FabricKind::Ring, None, config, warmup, rounds, beacon)
+        })
         .max_by(|a, b| a.msgs_per_sec.total_cmp(&b.msgs_per_sec))
         .expect("REPS >= 1");
 
@@ -81,6 +101,7 @@ fn main() {
             "  \"smoke\": {smoke},\n",
             "  \"rounds\": {rounds},\n",
             "  \"trace_one_in\": {rate},\n",
+            "  \"beacon_us\": {beacon},\n",
             "  \"msgs_per_sec\": {mps:.0},\n",
             "  \"p50_frame_ns\": {p50},\n",
             "  \"p99_frame_ns\": {p99}\n",
@@ -90,6 +111,7 @@ fn main() {
         smoke = smoke,
         rounds = rounds,
         rate = trace_one_in,
+        beacon = beacon_us,
         mps = pp.msgs_per_sec,
         p50 = pp.p50_ns,
         p99 = pp.p99_ns,

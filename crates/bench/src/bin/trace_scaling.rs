@@ -20,6 +20,11 @@
 //! nonzero if the merged timeline contains no cross-endpoint flow pair
 //! while telemetry is enabled — the same pipeline gate as `trace_merge`,
 //! now pointed at the switched runtime.
+//!
+//! Switch shards are first-class in every output: the drive loop samples
+//! each shard periodically, so the Prometheus/CSV scrape carries per-shard
+//! queue-depth, deficit and per-port forwarding series, and the chrome
+//! trace gains counter lanes per shard alongside the span flows.
 
 use fm_core::{EndpointConfig, HandlerId, NodeId, SwitchTopology, SwitchedCluster};
 use fm_telemetry::MetricsAggregator;
@@ -77,10 +82,24 @@ fn main() {
     // threaded sweep, but a replayable interleaving — diagnosis wants
     // stable timelines, not scheduler roulette.
     let payload = [0xC3u8; 128];
+    let mut agg = MetricsAggregator::new();
+    for ep in &cluster.endpoints {
+        agg.register(ep.telemetry().clone());
+    }
     let mut queued = vec![0usize; pairs];
     let mut rounds = 0usize;
     loop {
         rounds += 1;
+        // Periodic shard samples give the chrome-trace counter lanes real
+        // time series (occupancy/deficits evolving over the run), not one
+        // end-of-run point. Tick-domain timestamps — the same clock the
+        // span events carry, so the lanes line up with the flows.
+        if rounds.is_multiple_of(4) {
+            let at = cluster.endpoints[0].now();
+            for shard in &cluster.shards {
+                agg.record_shard(at, shard.sample());
+            }
+        }
         let mut all_sent = true;
         for (pair, q) in queued.iter_mut().enumerate() {
             while *q < count {
@@ -112,10 +131,12 @@ fn main() {
     for _ in 0..50 {
         cluster.drive_round();
     }
-
-    let mut agg = MetricsAggregator::new();
+    let final_at = cluster.endpoints[0].now();
+    for shard in &cluster.shards {
+        agg.record_shard(final_at, shard.sample());
+    }
     for ep in &cluster.endpoints {
-        agg.register(ep.telemetry().clone());
+        agg.set_gauges(ep.node_id().0, ep.observability_gauges());
     }
     agg.tick(1);
     let report = agg.merged();
@@ -123,16 +144,20 @@ fn main() {
     let trace_path = format!("{prefix}.trace.json");
     let prom_path = format!("{prefix}.prom");
     let csv_path = format!("{prefix}.csv");
-    std::fs::write(&trace_path, report.chrome_trace())
+    let shard_lanes = agg.shard_lane_events();
+    std::fs::write(&trace_path, report.chrome_trace_with(&shard_lanes))
         .unwrap_or_else(|e| panic!("writing {trace_path}: {e}"));
     std::fs::write(&prom_path, agg.prometheus())
         .unwrap_or_else(|e| panic!("writing {prom_path}: {e}"));
     std::fs::write(&csv_path, agg.csv()).unwrap_or_else(|e| panic!("writing {csv_path}: {e}"));
 
     println!(
-        "delivered {} msgs over {rounds} drive rounds; merged {} events from {n} endpoints",
+        "delivered {} msgs over {rounds} drive rounds; merged {} events from {n} endpoints, \
+         {} shard-lane points from {} shard(s)",
         pairs * count,
-        report.events.len()
+        report.events.len(),
+        shard_lanes.len(),
+        cluster.shards.len(),
     );
     for shard in &cluster.shards {
         let occ = shard.occupancy_histogram();

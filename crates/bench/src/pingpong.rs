@@ -35,12 +35,20 @@ pub struct PingPong {
 /// Serial echo rounds over the full protocol stack (window, acks, codec).
 /// `config` reaches both endpoints, so probe binaries can vary the trace
 /// sample rate (`EndpointConfig::trace_one_in`) against the same workload.
+///
+/// `beacon_us` (when `Some`) points both endpoints' out-of-band telemetry
+/// beacons at a throwaway local sink socket at that pacing interval, so
+/// the overhead gate can price the beacon path (snapshot + encode + UDP
+/// send from inside `extract`) on the same workload. The sink is never
+/// read; once its receive buffer fills the kernel drops the rest, which
+/// is exactly the cost profile of a slow or absent collector.
 pub fn pingpong(
     fabric: FabricKind,
     faults: Option<FaultConfig>,
     config: EndpointConfig,
     warmup: u64,
     rounds: u64,
+    beacon_us: Option<u64>,
 ) -> PingPong {
     let mut nodes = match faults {
         // Zero-rate injector: every frame still pays the injector's
@@ -50,6 +58,13 @@ pub fn pingpong(
     };
     let mut b = nodes.pop().expect("node 1");
     let mut a = nodes.pop().expect("node 0");
+    let _beacon_sink = beacon_us.map(|us| {
+        let sink = std::net::UdpSocket::bind("127.0.0.1:0").expect("beacon sink");
+        let addr = sink.local_addr().expect("sink addr");
+        a.enable_beacon(addr, us).expect("beacon socket (a)");
+        b.enable_beacon(addr, us).expect("beacon socket (b)");
+        sink // kept alive so the port stays bound for the whole run
+    });
     let hb = b.register_handler(|out, src, data| out.send_copy(src, HandlerId(1), data));
     let echoes = Arc::new(AtomicU64::new(0));
     let e2 = echoes.clone();

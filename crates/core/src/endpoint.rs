@@ -103,6 +103,20 @@ pub struct EndpointStats {
     pub peer_resets: u64,
 }
 
+impl EndpointStats {
+    /// The stats fields the telemetry `Counter` enum does *not* already
+    /// cover, as `(name, value)` gauge pairs for the observability
+    /// exports (metrics aggregator columns, telemetry beacons).
+    pub fn observability_pairs(&self) -> [(&'static str, u64); 4] {
+        [
+            ("peer_resets", self.peer_resets),
+            ("unreachable_drops", self.unreachable_drops),
+            ("handler_panics", self.handler_panics),
+            ("deferred_sends", self.deferred_sends),
+        ]
+    }
+}
+
 /// Configuration knobs for one endpoint.
 #[derive(Debug, Clone, Copy)]
 pub struct EndpointConfig {
@@ -656,6 +670,17 @@ impl EndpointCore {
         // completes within one service round — a systematic skew that
         // makes the merged timeline's happens-before constraints
         // cyclically infeasible on ring topologies.
+        //
+        // Under wall-clock time the opposite staleness bites: `now` still
+        // holds the *previous* extract's reading, so an endpoint that sat
+        // idle between service rounds would stamp this arrival tens of
+        // microseconds before the send that caused it — the same
+        // infeasibility, from the other direction. Re-read the clock at
+        // ingress instead (real time has genuinely advanced; the one
+        // Instant read is noise next to the recv syscall that got us here).
+        if self.config.time_source == TimeSource::WallMicros {
+            self.advance_clock();
+        }
         let arrival = self.now + 1;
         // Piggybacked acks count regardless of what happens to the frame.
         for &word in frame.piggy.as_slice() {

@@ -38,7 +38,7 @@ use crate::handler::{HandlerId, Outbox};
 use crate::seg::{self, Reassembly};
 use crate::time::{RttEstimator, TimeSource};
 use crate::udp::{unique_generation, Roster, UdpConfig, UdpLink, UdpStats, DEFAULT_HELLO_INTERVAL_US};
-use fm_telemetry::{Counter, Metric, Telemetry};
+use fm_telemetry::{Beaconer, Counter, Metric, Telemetry};
 
 /// The reserved handler id for segmentation fragments.
 pub const SEG_HANDLER: HandlerId = HandlerId(0);
@@ -287,6 +287,9 @@ pub struct MemEndpoint {
     /// there instead would cost an atomic refcount round trip per
     /// `extract` spin.
     telemetry: Telemetry,
+    /// Out-of-band telemetry beaconer toward a collector, when enabled
+    /// ([`MemEndpoint::enable_beacon`]). Paced inside `extract_budget`.
+    beacon: Option<Beaconer>,
 }
 
 impl MemEndpoint {
@@ -327,6 +330,7 @@ impl MemEndpoint {
             codec_errors: 0,
             large_handler_panics: 0,
             telemetry,
+            beacon: None,
         }
     }
 
@@ -342,6 +346,63 @@ impl MemEndpoint {
     /// see [`crate::endpoint::EndpointCore::telemetry`].
     pub fn telemetry(&self) -> &Telemetry {
         self.core.telemetry()
+    }
+
+    /// This endpoint's current clock reading (extract ticks or wall
+    /// micros, per `EndpointConfig::time_source`) — the tick domain its
+    /// trace events are stamped in.
+    pub fn now(&self) -> u64 {
+        self.core.now()
+    }
+
+    /// Start emitting out-of-band telemetry beacons toward `collector`
+    /// (a [`fm_telemetry::Collector`] ingest socket) at most once per
+    /// `interval_us` micros, paced from inside [`MemEndpoint::extract_budget`].
+    /// The beacon socket is a separate ephemeral UDP socket, so this works
+    /// identically on mesh, switched and UDP wirings and never contends
+    /// with data traffic.
+    pub fn enable_beacon(
+        &mut self,
+        collector: SocketAddr,
+        interval_us: u64,
+    ) -> std::io::Result<()> {
+        self.beacon = Some(Beaconer::endpoint(
+            self.telemetry.clone(),
+            collector,
+            interval_us,
+        )?);
+        Ok(())
+    }
+
+    /// Emit one beacon right now, regardless of pacing (harness flush at
+    /// the end of a phase, so the collector sees the final counters).
+    /// No-op unless [`MemEndpoint::enable_beacon`] was called.
+    pub fn emit_beacon(&mut self) {
+        if self.beacon.is_some() {
+            let gauges = self.observability_gauges();
+            let pairs: Vec<(&str, u64)> =
+                gauges.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+            if let Some(b) = self.beacon.as_mut() {
+                b.emit(&pairs);
+            }
+        }
+    }
+
+    /// The named gauge values a beacon (or metrics aggregator) exports
+    /// for this endpoint beyond the counter enum: the
+    /// [`EndpointStats::observability_pairs`] and, on a UDP wiring, every
+    /// [`UdpStats`] field.
+    pub fn observability_gauges(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .stats()
+            .observability_pairs()
+            .iter()
+            .map(|&(n, v)| (n.to_string(), v))
+            .collect();
+        if let Some(udp) = self.udp_stats() {
+            out.extend(udp.as_pairs().iter().map(|&(n, v)| (n.to_string(), v)));
+        }
+        out
     }
 
     /// Build a switch-routed endpoint: one uplink into its switch shard,
@@ -649,6 +710,11 @@ impl MemEndpoint {
         self.reap_dead_peers();
         self.flush_deferred();
         self.flush_wire();
+        // Out-of-band beacon pacing: `due()` is a counter mask plus one
+        // Instant read every 64 calls, so the hot path stays unburdened.
+        if self.beacon.as_mut().is_some_and(|b| b.due()) {
+            self.emit_beacon();
+        }
         n + self.dispatch_large()
     }
 

@@ -256,6 +256,26 @@ impl SwitchShard {
         &self.occupancy
     }
 
+    /// Snapshot every observability-relevant series of this shard into
+    /// the beacon wire form: counters, adaptive batch, queue-depth
+    /// summary + octaves, DRR deficits, per-port forwarding totals. What
+    /// a shard telemetry beacon carries.
+    pub fn sample(&self) -> fm_telemetry::ShardSample {
+        fm_telemetry::ShardSample {
+            switch_id: self.id as u16,
+            forwarded: self.stats.forwarded,
+            stalled: self.stats.stalled,
+            dropped: self.stats.dropped,
+            timed_out: self.stats.timed_out,
+            batch: self.batch as u64,
+            occupancy: self.occupancy.summary(),
+            occupancy_octaves: self.occupancy.octave_counts(),
+            deficits: self.deficits(),
+            input_forwarded: self.input_forwarded(),
+            output_forwarded: self.output_forwarded.clone(),
+        }
+    }
+
     /// One forwarding pass: deficit-round-robin over the input ports,
     /// starting at the rotating pointer, repeating rounds until no input
     /// makes progress (or [`ROTATION_CAP`] rounds, under live inflow).

@@ -242,6 +242,26 @@ pub struct UdpStats {
     pub recv_errors: u64,
 }
 
+impl UdpStats {
+    /// Every field as a `("udp_"-prefixed name, value)` pair — the form
+    /// the observability exports (gauge columns, telemetry beacons) ship.
+    pub fn as_pairs(&self) -> [(&'static str, u64); 11] {
+        [
+            ("udp_datagrams_out", self.datagrams_out),
+            ("udp_datagrams_in", self.datagrams_in),
+            ("udp_hellos_sent", self.hellos_sent),
+            ("udp_hello_acks_sent", self.hello_acks_sent),
+            ("udp_generation_changes", self.generation_changes),
+            ("udp_send_errors", self.send_errors),
+            ("udp_backpressure", self.backpressure),
+            ("udp_no_route", self.no_route),
+            ("udp_malformed_ctrl", self.malformed_ctrl),
+            ("udp_version_mismatch", self.version_mismatch),
+            ("udp_recv_errors", self.recv_errors),
+        ]
+    }
+}
+
 /// Per-peer handshake view.
 #[derive(Debug, Clone, Copy, Default)]
 struct PeerState {

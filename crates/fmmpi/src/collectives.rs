@@ -37,9 +37,14 @@
 //! are not what applications should call.
 
 use fm_core::{NodeId, SwitchTopology};
+use fm_telemetry::EventKind;
 
 use crate::comm::{Communicator, ReduceOp};
 use crate::{MpiError, Rank, Tag};
+
+/// `peer` value in a [`EventKind::CollRoundBegin`] span when the round
+/// has no single partner (a fan to several children at once).
+pub(crate) const NO_PEER: Rank = Rank::MAX;
 
 /// Internal tag sub-space bases (all >= [`Tag::RESERVED`]). Each kind
 /// owns `COLL_SPAN` consecutive tags; see [`coll_tag`].
@@ -180,6 +185,27 @@ pub(crate) fn topo_tree(topo: &SwitchTopology, size: usize, root: Rank, me: Rank
 }
 
 impl Communicator {
+    // Collective-span tracing: every instrumented collective brackets the
+    // whole call with `CollBegin`/`CollEnd` and each communication round
+    // with `CollRoundBegin`/`CollRoundEnd`, all stamped on the endpoint's
+    // clock so they merge onto the message-span timeline and export as
+    // per-collective duration series from the beacon collector.
+    fn coll_begin(&self, kind: usize, epoch: u32) {
+        self.trace_coll(EventKind::CollBegin { coll: kind as u8, epoch });
+    }
+
+    fn coll_end(&self, kind: usize, epoch: u32) {
+        self.trace_coll(EventKind::CollEnd { coll: kind as u8, epoch });
+    }
+
+    fn round_begin(&self, kind: usize, epoch: u32, round: u16, peer: Rank) {
+        self.trace_coll(EventKind::CollRoundBegin { coll: kind as u8, epoch, round, peer });
+    }
+
+    fn round_end(&self, kind: usize, epoch: u32, round: u16) {
+        self.trace_coll(EventKind::CollRoundEnd { coll: kind as u8, epoch, round });
+    }
+
     /// This rank's collective spanning tree for `root`, when the wiring
     /// makes a topology tree worthwhile (more than one switch). On a
     /// single switch — or the mesh, where every pair is one hop — the
@@ -198,13 +224,21 @@ impl Communicator {
     /// dissemination algorithm runs in `ceil(log2(size))` rounds.
     pub fn barrier(&mut self) {
         let epoch = self.bump_epoch(KIND_BARRIER);
+        self.coll_begin(KIND_BARRIER, epoch);
+        self.barrier_rounds(epoch);
+        self.coll_end(KIND_BARRIER, epoch);
+    }
+
+    fn barrier_rounds(&mut self, epoch: u32) {
         let size = self.size() as u32;
         if size == 1 {
             return;
         }
         let tag = coll_tag(TAG_BARRIER, epoch);
         if let Some(tree) = self.coll_tree(0) {
-            // Fan-in: wait for the whole subtree, then report up.
+            // Round 0, fan-in: wait for the whole subtree, report up,
+            // wait for the release.
+            self.round_begin(KIND_BARRIER, epoch, 0, tree.parent.unwrap_or(NO_PEER));
             for &c in &tree.children {
                 let _ = self.recv_reserved(c, tag);
             }
@@ -212,10 +246,13 @@ impl Communicator {
                 self.send_reserved(p, tag, &[]);
                 let _ = self.recv_reserved(p, tag);
             }
-            // Fan-out: release the subtree.
+            self.round_end(KIND_BARRIER, epoch, 0);
+            // Round 1, fan-out: release the subtree.
+            self.round_begin(KIND_BARRIER, epoch, 1, NO_PEER);
             for &c in &tree.children {
                 self.send_reserved(c, tag, &[]);
             }
+            self.round_end(KIND_BARRIER, epoch, 1);
             return;
         }
         let me = self.rank() as u32;
@@ -223,12 +260,16 @@ impl Communicator {
         // partner per round (distances 1, 2, 4, … < size are distinct
         // mod size) make rounds unambiguous.
         let mut dist = 1u32;
+        let mut round = 0u16;
         while dist < size {
             let to = ((me + dist) % size) as Rank;
             let from = ((me + size - dist) % size) as Rank;
+            self.round_begin(KIND_BARRIER, epoch, round, to);
             self.send_reserved(to, tag, &[]);
             let _ = self.recv_reserved(from, tag);
+            self.round_end(KIND_BARRIER, epoch, round);
             dist *= 2;
+            round += 1;
         }
     }
 
@@ -237,18 +278,35 @@ impl Communicator {
     /// space otherwise.
     pub fn bcast(&mut self, root: Rank, data: &[u8]) -> Vec<u8> {
         let epoch = self.bump_epoch(KIND_BCAST);
+        self.coll_begin(KIND_BCAST, epoch);
+        let buf = self.bcast_rounds(root, data, epoch);
+        self.coll_end(KIND_BCAST, epoch);
+        buf
+    }
+
+    fn bcast_rounds(&mut self, root: Rank, data: &[u8], epoch: u32) -> Vec<u8> {
         let size = self.size() as u32;
         if size == 1 {
             return data.to_vec();
         }
         let tag = coll_tag(TAG_BCAST, epoch);
+        let mut round = 0u16;
         if let Some(tree) = self.coll_tree(root) {
             let buf = match tree.parent {
                 None => data.to_vec(),
-                Some(p) => self.recv_reserved(p, tag),
+                Some(p) => {
+                    self.round_begin(KIND_BCAST, epoch, round, p);
+                    let b = self.recv_reserved(p, tag);
+                    self.round_end(KIND_BCAST, epoch, round);
+                    round += 1;
+                    b
+                }
             };
             for &c in &tree.children {
+                self.round_begin(KIND_BCAST, epoch, round, c);
                 self.send_reserved(c, tag, &buf);
+                self.round_end(KIND_BCAST, epoch, round);
+                round += 1;
             }
             return buf;
         }
@@ -261,7 +319,11 @@ impl Communicator {
             // Receive from the parent: clear the lowest set bit.
             let parent_v = vrank & (vrank - 1);
             let parent = ((parent_v + root as u32) % size) as Rank;
-            self.recv_reserved(parent, tag)
+            self.round_begin(KIND_BCAST, epoch, round, parent);
+            let b = self.recv_reserved(parent, tag);
+            self.round_end(KIND_BCAST, epoch, round);
+            round += 1;
+            b
         };
         // Forward to children: set bits above the lowest set bit.
         let lowest = if vrank == 0 {
@@ -274,7 +336,10 @@ impl Communicator {
             let child_v = vrank | bit;
             if child_v != vrank && child_v < size {
                 let child = ((child_v + root as u32) % size) as Rank;
+                self.round_begin(KIND_BCAST, epoch, round, child);
                 self.send_reserved(child, tag, &buf);
+                self.round_end(KIND_BCAST, epoch, round);
+                round += 1;
             }
             bit <<= 1;
         }
@@ -291,20 +356,40 @@ impl Communicator {
         op: ReduceOp,
     ) -> Result<Option<Vec<f64>>, MpiError> {
         let epoch = self.bump_epoch(KIND_REDUCE);
+        self.coll_begin(KIND_REDUCE, epoch);
+        let r = self.reduce_rounds(root, data, op, epoch);
+        self.coll_end(KIND_REDUCE, epoch);
+        r
+    }
+
+    fn reduce_rounds(
+        &mut self,
+        root: Rank,
+        data: &[f64],
+        op: ReduceOp,
+        epoch: u32,
+    ) -> Result<Option<Vec<f64>>, MpiError> {
         let size = self.size() as u32;
         let tag = coll_tag(TAG_REDUCE, epoch);
         let mut acc = data.to_vec();
+        let mut round = 0u16;
         if let Some(tree) = self.coll_tree(root) {
             // Combine the whole subtree, then pass one payload up — the
             // inverse of the bcast fan-out, so each trunk carries one
             // combined contribution instead of one per descendant rank.
             for &c in &tree.children {
-                let theirs = bytes_to_f64s(c, &self.recv_reserved(c, tag))?;
+                self.round_begin(KIND_REDUCE, epoch, round, c);
+                let recvd = self.recv_reserved(c, tag);
+                self.round_end(KIND_REDUCE, epoch, round);
+                round += 1;
+                let theirs = bytes_to_f64s(c, &recvd)?;
                 combine(&mut acc, c, &theirs, op)?;
             }
             return match tree.parent {
                 Some(p) => {
+                    self.round_begin(KIND_REDUCE, epoch, round, p);
                     self.send_reserved(p, tag, &f64s_to_bytes(&acc));
+                    self.round_end(KIND_REDUCE, epoch, round);
                     Ok(None)
                 }
                 None => Ok(Some(acc)),
@@ -319,16 +404,22 @@ impl Communicator {
             if vrank & bit != 0 {
                 let parent_v = vrank & !bit;
                 let parent = ((parent_v + root as u32) % size) as Rank;
+                self.round_begin(KIND_REDUCE, epoch, round, parent);
                 self.send_reserved(parent, tag, &f64s_to_bytes(&acc));
+                self.round_end(KIND_REDUCE, epoch, round);
                 return Ok(None);
             }
             let child_v = vrank | bit;
             if child_v < size {
                 let child = ((child_v + root as u32) % size) as Rank;
-                let theirs = bytes_to_f64s(child, &self.recv_reserved(child, tag))?;
+                self.round_begin(KIND_REDUCE, epoch, round, child);
+                let recvd = self.recv_reserved(child, tag);
+                self.round_end(KIND_REDUCE, epoch, round);
+                let theirs = bytes_to_f64s(child, &recvd)?;
                 combine(&mut acc, child, &theirs, op)?;
             }
             bit <<= 1;
+            round += 1;
         }
         Ok(Some(acc))
     }
@@ -342,21 +433,41 @@ impl Communicator {
         if size == 1 {
             return Ok(data.to_vec());
         }
+        let epoch = self.bump_epoch(KIND_ALLREDUCE);
+        self.coll_begin(KIND_ALLREDUCE, epoch);
+        let r = self.allreduce_rounds(data, op, epoch);
+        self.coll_end(KIND_ALLREDUCE, epoch);
+        r
+    }
+
+    fn allreduce_rounds(
+        &mut self,
+        data: &[f64],
+        op: ReduceOp,
+        epoch: u32,
+    ) -> Result<Vec<f64>, MpiError> {
+        let size = self.size();
         if size.is_power_of_two() {
-            let epoch = self.bump_epoch(KIND_ALLREDUCE);
             let tag = coll_tag(TAG_ALLREDUCE, epoch);
             let me = self.rank() as usize;
             let mut acc = data.to_vec();
             let mut dist = 1usize;
+            let mut round = 0u16;
             while dist < size {
                 let partner = (me ^ dist) as Rank;
+                self.round_begin(KIND_ALLREDUCE, epoch, round, partner);
                 self.send_reserved(partner, tag, &f64s_to_bytes(&acc));
-                let theirs = bytes_to_f64s(partner, &self.recv_reserved(partner, tag))?;
+                let recvd = self.recv_reserved(partner, tag);
+                self.round_end(KIND_ALLREDUCE, epoch, round);
+                let theirs = bytes_to_f64s(partner, &recvd)?;
                 combine(&mut acc, partner, &theirs, op)?;
                 dist <<= 1;
+                round += 1;
             }
             return Ok(acc);
         }
+        // Non-power-of-two: reduce + bcast, which emit their own spans
+        // nested inside this allreduce's begin/end bracket.
         let result = self.reduce(0, data, op)?;
         let bytes = self.bcast(0, &f64s_to_bytes(result.as_deref().unwrap_or(&[])));
         bytes_to_f64s(0, &bytes)
@@ -509,6 +620,38 @@ mod tests {
             handles.into_iter().map(|h| h.join().unwrap()).collect();
         results.sort_by_key(|(r, _)| *r);
         results.into_iter().map(|(_, t)| t).collect()
+    }
+
+    #[test]
+    fn collectives_emit_balanced_spans() {
+        if !fm_telemetry::ENABLED {
+            return; // spans compile out with the telemetry-off feature
+        }
+        let out = run_ranks(4, |c| {
+            c.barrier();
+            c.allreduce(&[c.rank() as f64], ReduceOp::Sum).unwrap();
+            c.bcast(0, &[7u8; 16]);
+            c.telemetry().events()
+        });
+        for (rank, events) in out.iter().enumerate() {
+            let mut begins = 0;
+            let mut ends = 0;
+            let mut round_begins = 0;
+            let mut round_ends = 0;
+            for e in events {
+                match e.kind {
+                    fm_telemetry::EventKind::CollBegin { .. } => begins += 1,
+                    fm_telemetry::EventKind::CollEnd { .. } => ends += 1,
+                    fm_telemetry::EventKind::CollRoundBegin { .. } => round_begins += 1,
+                    fm_telemetry::EventKind::CollRoundEnd { .. } => round_ends += 1,
+                    _ => {}
+                }
+            }
+            assert_eq!(begins, 3, "rank {rank}: barrier + allreduce + bcast");
+            assert_eq!(ends, 3, "rank {rank}: every begin closed");
+            assert_eq!(round_begins, round_ends, "rank {rank}: rounds balanced");
+            assert!(round_begins >= 4, "rank {rank}: log2 rounds recorded");
+        }
     }
 
     #[test]

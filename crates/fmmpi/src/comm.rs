@@ -340,6 +340,12 @@ impl Communicator {
         self.ep.stats()
     }
 
+    /// This rank's telemetry handle (counters, histograms, trace ring —
+    /// including the collective spans the collectives module records).
+    pub fn telemetry(&self) -> &fm_telemetry::Telemetry {
+        self.ep.telemetry()
+    }
+
     // Internal send/recv on reserved tags, for the collectives module.
     pub(crate) fn send_reserved(&mut self, dest: Rank, tag: Tag, data: &[u8]) {
         debug_assert!(!tag.is_user());
@@ -357,6 +363,15 @@ impl Communicator {
         let e = self.epochs[kind];
         self.epochs[kind] = e.wrapping_add(1);
         e
+    }
+
+    /// Record one collective-span trace event, stamped with the
+    /// endpoint's own clock so it merges onto the same timeline as the
+    /// message spans. The collectives module brackets every call
+    /// (`CollBegin`/`CollEnd`) and every communication round
+    /// (`CollRoundBegin`/`CollRoundEnd`) through this.
+    pub(crate) fn trace_coll(&self, kind: fm_telemetry::EventKind) {
+        self.ep.telemetry().trace(self.ep.now(), kind);
     }
 }
 

@@ -16,9 +16,11 @@
 //! artifact — the cluster-wide picture of what led up to the death, taken
 //! at the moment it was declared.
 
+use crate::beacon::ShardSample;
+use crate::collector::{shard_lane_fragments, shard_series_prometheus};
 use crate::merge::{self, MergeReport};
 use crate::{Counter, Metric, Telemetry, TelemetrySnapshot};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Per-endpoint counter deltas observed by one tick.
 #[derive(Debug, Clone, Copy)]
@@ -72,6 +74,13 @@ pub struct MetricsAggregator {
     history_cap: usize,
     flight_last_n: usize,
     flights: Vec<FlightDump>,
+    /// Named transport gauges per node (e.g. `UdpStats` fields,
+    /// `peer_resets`), exported alongside the counters.
+    gauges: BTreeMap<u16, Vec<(String, u64)>>,
+    /// Per-switch-shard sample history, `(at, sample)`, bounded like the
+    /// tick history. The latest sample drives the Prometheus shard lanes;
+    /// the whole window drives the chrome-trace counter tracks.
+    shards: BTreeMap<u16, Vec<(u64, ShardSample)>>,
 }
 
 /// Default bound on retained tick samples.
@@ -94,7 +103,40 @@ impl MetricsAggregator {
             history_cap: history.max(1),
             flight_last_n: flight_last_n.max(1),
             flights: Vec::new(),
+            gauges: BTreeMap::new(),
+            shards: BTreeMap::new(),
         }
+    }
+
+    /// Attach (replace) a node's named transport gauges — values the
+    /// counter enum does not cover, such as the UDP link's `UdpStats`
+    /// fields or the endpoint's `peer_resets`. They export as
+    /// `fm_<name>{node=...}` gauges and extra CSV columns.
+    pub fn set_gauges(&mut self, node: u16, gauges: Vec<(String, u64)>) {
+        self.gauges.insert(node, gauges);
+    }
+
+    /// Record one switch-shard sample at scrape time `at`. The shard's
+    /// occupancy histogram, DRR deficits and per-port forwarding totals
+    /// become first-class series in [`MetricsAggregator::prometheus`] and
+    /// counter lanes in [`MetricsAggregator::shard_lane_events`].
+    pub fn record_shard(&mut self, at: u64, sample: ShardSample) {
+        let hist = self.shards.entry(sample.switch_id).or_default();
+        if hist.len() >= self.history_cap {
+            hist.remove(0);
+        }
+        hist.push((at, sample));
+    }
+
+    /// Chrome-trace counter-lane fragments for every recorded shard, ready
+    /// to splice into a merged timeline via
+    /// [`MergeReport::chrome_trace_with`].
+    pub fn shard_lane_events(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (&switch, hist) in &self.shards {
+            out.extend(shard_lane_fragments(switch, hist));
+        }
+        out
     }
 
     /// Register an endpoint's telemetry handle (a cheap `Arc` clone). The
@@ -217,7 +259,36 @@ impl MetricsAggregator {
                 ));
             }
         }
+        // Named transport gauges (UdpStats fields, peer_resets, ...).
+        for name in self.gauge_columns() {
+            out.push_str(&format!("# TYPE fm_{name} gauge\n"));
+            for (node, gauges) in &self.gauges {
+                if let Some((_, v)) = gauges.iter().find(|(n, _)| *n == name) {
+                    out.push_str(&format!("fm_{name}{{node=\"{node}\"}} {v}\n"));
+                }
+            }
+        }
+        // Switch-shard lanes: latest sample per shard.
+        if !self.shards.is_empty() {
+            out.push_str(&shard_series_prometheus(
+                self.shards
+                    .iter()
+                    .filter_map(|(&sw, hist)| hist.last().map(|(_, s)| (sw, s))),
+            ));
+        }
         out
+    }
+
+    /// Sorted union of every registered gauge name.
+    fn gauge_columns(&self) -> Vec<String> {
+        let mut cols: Vec<String> = self
+            .gauges
+            .values()
+            .flat_map(|g| g.iter().map(|(n, _)| n.clone()))
+            .collect();
+        cols.sort();
+        cols.dedup();
+        cols
     }
 
     /// Current per-endpoint state as CSV (one row per endpoint), rendered
@@ -238,6 +309,12 @@ impl MetricsAggregator {
         for col in &metric_cols {
             header.push(col);
         }
+        // Gauge columns appended last so existing consumers' column
+        // positions never move.
+        let gauge_cols = self.gauge_columns();
+        for col in &gauge_cols {
+            header.push(col);
+        }
         let rows: Vec<Vec<String>> = self
             .handles
             .iter()
@@ -252,6 +329,13 @@ impl MetricsAggregator {
                     row.push(hs.count.to_string());
                     row.push(hs.p50.to_string());
                     row.push(hs.p99.to_string());
+                }
+                let gauges = self.gauges.get(&s.node);
+                for col in &gauge_cols {
+                    let v = gauges
+                        .and_then(|g| g.iter().find(|(n, _)| n == col))
+                        .map_or(0, |(_, v)| *v);
+                    row.push(v.to_string());
                 }
                 row
             })
@@ -352,6 +436,76 @@ mod tests {
         for c in Counter::ALL {
             assert!(text.contains(&format!("fm_{}_total", c.name())));
         }
+    }
+
+    fn sample(switch: u16, forwarded: u64) -> ShardSample {
+        ShardSample {
+            switch_id: switch,
+            forwarded,
+            stalled: 1,
+            dropped: 0,
+            timed_out: 0,
+            batch: 8,
+            occupancy: crate::hist::HistSummary {
+                count: 10,
+                min: 1,
+                max: 12,
+                p50: 3,
+                p90: 9,
+                p99: 12,
+            },
+            occupancy_octaves: vec![(0, 10)],
+            deficits: vec![0, 96],
+            input_forwarded: vec![forwarded / 2, forwarded - forwarded / 2],
+            output_forwarded: vec![forwarded],
+        }
+    }
+
+    #[test]
+    fn gauges_export_to_prometheus_and_csv() {
+        let t = Telemetry::new(0);
+        let mut agg = MetricsAggregator::new();
+        agg.register(t);
+        agg.register(Telemetry::new(1));
+        agg.set_gauges(0, vec![("udp_datagrams_out".into(), 42), ("peer_resets".into(), 2)]);
+        let prom = agg.prometheus();
+        assert!(prom.contains("# TYPE fm_udp_datagrams_out gauge"));
+        assert!(prom.contains("fm_udp_datagrams_out{node=\"0\"} 42"));
+        assert!(prom.contains("fm_peer_resets{node=\"0\"} 2"));
+        let csv = agg.csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with("node,sends,"), "existing columns keep their slots");
+        assert!(lines[0].ends_with(",peer_resets,udp_datagrams_out"));
+        assert!(lines[1].ends_with(",2,42"));
+        assert!(lines[2].ends_with(",0,0"), "unset gauges default to 0");
+    }
+
+    #[test]
+    fn shard_samples_become_series_and_lanes() {
+        let mut agg = MetricsAggregator::new();
+        agg.record_shard(100, sample(3, 50));
+        agg.record_shard(200, sample(3, 150));
+        let prom = agg.prometheus();
+        assert!(prom.contains("fm_shard_queue_depth{switch=\"3\",quantile=\"0.99\"} 12"));
+        assert!(prom.contains("fm_shard_deficit{switch=\"3\",input=\"1\"} 96"));
+        assert!(prom.contains("fm_shard_input_forwarded_total{switch=\"3\",input=\"0\"} 75"));
+        assert!(prom.contains("fm_shard_forwarded_total{switch=\"3\"} 150"));
+        let lanes = agg.shard_lane_events();
+        assert!(lanes.iter().any(|l| l.contains("\"name\":\"switch 3\"")));
+        assert!(lanes.iter().any(|l| l.contains("\"args\":{\"frames\":100}")), "rate delta");
+        // Lanes splice into a merged timeline without breaking the JSON.
+        let doc = agg.merged().chrome_trace_with(&lanes);
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn shard_history_is_bounded() {
+        let mut agg = MetricsAggregator::with_bounds(4, 16);
+        for i in 0..10 {
+            agg.record_shard(i, sample(0, i * 10));
+        }
+        assert_eq!(agg.shards[&0].len(), 4);
+        assert_eq!(agg.shards[&0][0].0, 6, "oldest evicted");
     }
 
     #[test]

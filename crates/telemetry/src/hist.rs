@@ -196,6 +196,26 @@ impl Histogram {
         }
     }
 
+    /// Per-octave sample counts, skipping empty octaves: `(group, count)`
+    /// where `group` is the log2-linear bucket group (`bucket_index / SUB`)
+    /// and `count` sums that group's sub-buckets. This is the compact form
+    /// the telemetry beacons ship — at most `64 - SUB_BITS + 1` entries
+    /// regardless of sample count, with the same `1/SUB`-bounded loss of
+    /// resolution collapsed to one-octave granularity.
+    pub fn octave_counts(&self) -> Vec<(u8, u64)> {
+        let mut out = Vec::new();
+        for group in 0..(BUCKETS / SUB as usize) {
+            let mut n = 0u64;
+            for sub in 0..SUB as usize {
+                n += self.buckets[group * SUB as usize + sub].load(Ordering::Relaxed);
+            }
+            if n > 0 {
+                out.push((group as u8, n));
+            }
+        }
+        out
+    }
+
     /// Reset every bucket and counter to zero. Not atomic with respect to
     /// concurrent recorders; intended for between-phases reuse in harnesses.
     pub fn reset(&self) {
@@ -297,6 +317,26 @@ mod tests {
         assert_eq!(h.mean(), 20.0);
         h.reset();
         assert_eq!(h.summary(), HistSummary::default());
+    }
+
+    #[test]
+    fn octave_counts_partition_the_samples() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 31, 32, 63, 64, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let octs = h.octave_counts();
+        let total: u64 = octs.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, h.count(), "octaves partition all samples");
+        // Group 0 is the exact linear region [0, SUB).
+        assert_eq!(octs[0], (0, 3), "0, 1, 31 land in the linear region");
+        for w in octs.windows(2) {
+            assert!(w[0].0 < w[1].0, "groups ascend");
+        }
+        // Each reported group really covers its values.
+        for (g, _) in &octs {
+            assert!((*g as usize) < BUCKETS / SUB as usize);
+        }
     }
 
     #[test]

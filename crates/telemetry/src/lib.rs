@@ -30,16 +30,20 @@
 //! (the testbed loss sweep, `bench_gate`'s ping-pong) depend on them.
 
 pub mod aggregate;
+pub mod beacon;
 pub mod clocksync;
+pub mod collector;
 pub mod hist;
 pub mod merge;
 pub mod trace;
 
 pub use aggregate::{FlightDump, MetricsAggregator, TickSample};
+pub use beacon::{Beacon, BeaconBody, BeaconError, Beaconer, EndpointBeacon, ShardSample};
 pub use clocksync::{ClockEstimate, ClusterClock, OffsetEstimator, RttSample};
+pub use collector::{Alarm, Collector, DetectorConfig};
 pub use hist::{bucket_index, bucket_lower, bucket_upper, HistSummary, Histogram, BUCKETS, SUB};
 pub use merge::{FlowPair, MergeReport, MergedEvent};
-pub use trace::{chrome_trace, EventKind, EventRing, TraceEvent};
+pub use trace::{chrome_trace, coll_kind_name, EventKind, EventRing, TraceEvent};
 
 #[cfg(not(feature = "telemetry-off"))]
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -245,6 +249,16 @@ impl Telemetry {
         return self.inner.hists[m as usize].quantile(q);
         #[cfg(feature = "telemetry-off")]
         0
+    }
+
+    /// Non-empty per-octave counts of metric `m`'s histogram — the compact
+    /// form the telemetry beacons ship (see [`Histogram::octave_counts`]).
+    #[cfg_attr(feature = "telemetry-off", allow(unused_variables))]
+    pub fn metric_octaves(&self, m: Metric) -> Vec<(u8, u64)> {
+        #[cfg(not(feature = "telemetry-off"))]
+        return self.inner.hists[m as usize].octave_counts();
+        #[cfg(feature = "telemetry-off")]
+        Vec::new()
     }
 
     /// Record a trace event at virtual time `tick`.

@@ -75,6 +75,14 @@ impl MergeReport {
 
     /// Render as a chrome-trace JSON document.
     pub fn chrome_trace(&self) -> String {
+        self.chrome_trace_with(&[])
+    }
+
+    /// Render as a chrome-trace JSON document, splicing `extra` event
+    /// fragments (already-serialized JSON objects, e.g. the per-shard
+    /// counter lanes from [`crate::collector::shard_lane_fragments`]) into
+    /// the `traceEvents` array.
+    pub fn chrome_trace_with(&self, extra: &[String]) -> String {
         let mut out = String::from("{\"traceEvents\":[");
         let mut first = true;
         let mut push = |s: String, first: &mut bool| {
@@ -100,9 +108,22 @@ impl MergeReport {
         // Handler start→end combine into one duration slice; starts with
         // no surviving end fall back to instants below.
         let mut handler_ends: HashMap<(u32, u16, u16), i64> = HashMap::new();
+        // Collective begin→end and round begin→end fold the same way,
+        // keyed by (coll, epoch[, round]) per node.
+        let mut coll_ends: HashMap<(u8, u32, u16), i64> = HashMap::new();
+        let mut round_ends: HashMap<(u8, u32, u16, u16), i64> = HashMap::new();
         for e in &self.events {
-            if let EventKind::SpanHandlerEnd { trace, hop } = e.kind {
-                handler_ends.entry((trace, hop, e.node)).or_insert(e.ts);
+            match e.kind {
+                EventKind::SpanHandlerEnd { trace, hop } => {
+                    handler_ends.entry((trace, hop, e.node)).or_insert(e.ts);
+                }
+                EventKind::CollEnd { coll, epoch } => {
+                    coll_ends.entry((coll, epoch, e.node)).or_insert(e.ts);
+                }
+                EventKind::CollRoundEnd { coll, epoch, round } => {
+                    round_ends.entry((coll, epoch, round, e.node)).or_insert(e.ts);
+                }
+                _ => {}
             }
         }
         for e in &self.events {
@@ -138,6 +159,45 @@ impl MergeReport {
                     }
                 }
                 EventKind::SpanHandlerEnd { .. } => { /* folded into the slice */ }
+                // Collectives: one slice per call on tid 1, one per round
+                // on tid 2, so each endpoint lane shows the collective bar
+                // with its rounds nested beneath it.
+                EventKind::CollBegin { coll, epoch } => {
+                    if let Some(&end) = coll_ends.get(&(coll, epoch, e.node)) {
+                        let dur = (end - ts).max(1);
+                        push(
+                            format!(
+                                "{{\"name\":\"{}\",\"cat\":\"coll\",\"ph\":\"X\",\
+                                 \"ts\":{ts},\"dur\":{dur},\"pid\":{},\"tid\":1,\
+                                 \"args\":{args}}}",
+                                crate::trace::coll_kind_name(coll),
+                                e.node
+                            ),
+                            &mut first,
+                        );
+                    } else {
+                        push(instant(e, ts, &args), &mut first);
+                    }
+                }
+                EventKind::CollEnd { .. } => { /* folded into the slice */ }
+                EventKind::CollRoundBegin { coll, epoch, round, .. } => {
+                    if let Some(&end) = round_ends.get(&(coll, epoch, round, e.node)) {
+                        let dur = (end - ts).max(1);
+                        push(
+                            format!(
+                                "{{\"name\":\"{} r{round}\",\"cat\":\"coll\",\
+                                 \"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":{},\
+                                 \"tid\":2,\"args\":{args}}}",
+                                crate::trace::coll_kind_name(coll),
+                                e.node
+                            ),
+                            &mut first,
+                        );
+                    } else {
+                        push(instant(e, ts, &args), &mut first);
+                    }
+                }
+                EventKind::CollRoundEnd { .. } => { /* folded into the slice */ }
                 _ => push(instant(e, ts, &args), &mut first),
             }
         }
@@ -160,6 +220,9 @@ impl MergeReport {
                 ),
                 &mut first,
             );
+        }
+        for frag in extra {
+            push(frag.clone(), &mut first);
         }
         out.push_str("],\"displayTimeUnit\":\"ms\"}");
         out
@@ -343,6 +406,37 @@ mod tests {
         // The s and f arrows share an id.
         let id = 7u64 << 16; // hop 0: the low 16 bits stay clear
         assert_eq!(doc.matches(&format!("\"id\":{id}")).count(), 2);
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn collective_spans_render_as_nested_slices() {
+        let evs = vec![
+            ev(0, 100, EventKind::CollBegin { coll: 3, epoch: 9 }),
+            ev(0, 110, EventKind::CollRoundBegin { coll: 3, epoch: 9, round: 0, peer: 1 }),
+            ev(0, 150, EventKind::CollRoundEnd { coll: 3, epoch: 9, round: 0 }),
+            ev(0, 160, EventKind::CollRoundBegin { coll: 3, epoch: 9, round: 1, peer: 2 }),
+            ev(0, 190, EventKind::CollRoundEnd { coll: 3, epoch: 9, round: 1 }),
+            ev(0, 200, EventKind::CollEnd { coll: 3, epoch: 9 }),
+        ];
+        let report = merge(&[evs]);
+        let doc = report.chrome_trace();
+        assert!(doc.contains("\"name\":\"allreduce\"") && doc.contains("\"dur\":100"));
+        assert!(doc.contains("\"name\":\"allreduce r0\"") && doc.contains("\"dur\":40"));
+        assert!(doc.contains("\"name\":\"allreduce r1\"") && doc.contains("\"dur\":30"));
+        assert!(!doc.contains("coll_end"), "ends folded into slices");
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn chrome_trace_with_splices_extra_fragments() {
+        let report = merge(&[crossing(0, 1, 7, 50, 0, 2)]);
+        let lane = "{\"name\":\"queue_depth\",\"ph\":\"C\",\"ts\":0,\"pid\":100000,\
+                    \"tid\":0,\"args\":{\"p50\":3}}"
+            .to_string();
+        let doc = report.chrome_trace_with(&[lane]);
+        assert!(doc.contains("\"pid\":100000"), "extra fragment spliced");
+        assert!(doc.ends_with("],\"displayTimeUnit\":\"ms\"}"));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
     }
 

@@ -9,8 +9,9 @@
 //! time-axis view that makes ABA-style slot-reuse bugs visible.
 
 /// One recorded protocol event. Everything is `Copy` — no heap data — so
-/// pushing an event never allocates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// pushing an event never allocates. (`Hash` lets the beacon collector
+/// deduplicate overlapping last-N windows from successive beacons.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TraceEvent {
     /// The endpoint's virtual clock (extract ticks) when the event fired.
     pub tick: u64,
@@ -20,7 +21,7 @@ pub struct TraceEvent {
 }
 
 /// What happened. Peer/slot/seq fields are raw wire-level ids.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EventKind {
     /// A fresh data frame was queued for the wire.
     Send { dst: u16, slot: u16, seq: u32 },
@@ -60,6 +61,43 @@ pub enum EventKind {
     SpanAckIn { trace: u32, hop: u16, peer: u16 },
     /// A sampled frame was retransmitted (bounce- or timer-driven).
     SpanRetransmit { trace: u32, hop: u16, peer: u16 },
+    // ---- collective-operation spans ----------------------------------
+    //
+    // One span per MPI-style collective call plus one child span per
+    // communication round, emitted by `fm-mpi`. `coll` is the collective
+    // kind index (see [`coll_kind_name`]) and `epoch` the per-kind call
+    // counter, so `(coll, epoch, node)` identifies one rank's view of one
+    // collective — the merge pairs begins with ends into duration slices.
+    /// A rank entered a collective call.
+    CollBegin { coll: u8, epoch: u32 },
+    /// A rank started one communication round of a collective (`peer` is
+    /// the partner it exchanges with this round; `u16::MAX` when the
+    /// round has no single partner, e.g. a tree fan-in over children).
+    CollRoundBegin { coll: u8, epoch: u32, round: u16, peer: u16 },
+    /// The round's sends/receives completed on this rank.
+    CollRoundEnd { coll: u8, epoch: u32, round: u16 },
+    /// The rank left the collective call.
+    CollEnd { coll: u8, epoch: u32 },
+}
+
+/// Stable name of a collective kind index, matching `fm-mpi`'s epoch-tag
+/// kind order (barrier = 0, bcast = 1, ...). Unknown indices render as
+/// `"coll"` instead of panicking, so a newer producer cannot wedge an
+/// older collector.
+pub fn coll_kind_name(coll: u8) -> &'static str {
+    match coll {
+        0 => "barrier",
+        1 => "bcast",
+        2 => "reduce",
+        3 => "allreduce",
+        4 => "gather",
+        5 => "scatter",
+        6 => "alltoall",
+        7 => "allgather",
+        8 => "alltoallv",
+        9 => "scan",
+        _ => "coll",
+    }
 }
 
 impl EventKind {
@@ -79,6 +117,10 @@ impl EventKind {
             EventKind::SpanAckOut { .. } => "span_ack_out",
             EventKind::SpanAckIn { .. } => "span_ack_in",
             EventKind::SpanRetransmit { .. } => "span_retransmit",
+            EventKind::CollBegin { .. } => "coll_begin",
+            EventKind::CollRoundBegin { .. } => "coll_round_begin",
+            EventKind::CollRoundEnd { .. } => "coll_round_end",
+            EventKind::CollEnd { .. } => "coll_end",
         }
     }
 
@@ -125,6 +167,24 @@ impl EventKind {
             EventKind::SpanAckIn { trace, hop, peer }
             | EventKind::SpanRetransmit { trace, hop, peer } => {
                 format!("{{\"trace\":{trace},\"hop\":{hop},\"peer\":{peer}}}")
+            }
+            EventKind::CollBegin { coll, epoch } | EventKind::CollEnd { coll, epoch } => {
+                format!(
+                    "{{\"coll\":\"{}\",\"epoch\":{epoch}}}",
+                    coll_kind_name(coll)
+                )
+            }
+            EventKind::CollRoundBegin { coll, epoch, round, peer } => {
+                format!(
+                    "{{\"coll\":\"{}\",\"epoch\":{epoch},\"round\":{round},\"peer\":{peer}}}",
+                    coll_kind_name(coll)
+                )
+            }
+            EventKind::CollRoundEnd { coll, epoch, round } => {
+                format!(
+                    "{{\"coll\":\"{}\",\"epoch\":{epoch},\"round\":{round}}}",
+                    coll_kind_name(coll)
+                )
             }
         }
     }
