@@ -56,6 +56,7 @@
 //! deterministic faults underneath it all to prove the machinery works.
 
 pub mod context;
+pub mod cost;
 pub mod endpoint;
 pub mod fabric;
 pub mod fault;
@@ -70,6 +71,7 @@ pub mod switched;
 pub mod time;
 pub mod udp;
 
+pub use cost::CostModel;
 pub use endpoint::{EndpointConfig, EndpointCore, EndpointStats, SendError};
 pub use fabric::{spsc_ring, BufferPool, RingConsumer, RingProducer};
 pub use fault::{FaultConfig, FaultEvent, FaultInjector, FaultKind, FaultStats, LinkFaults};

@@ -64,8 +64,14 @@ impl<E> CalendarQueue<E> {
     }
 
     /// Insert an event at absolute time `t` (must be >= the last popped time).
+    ///
+    /// # Panics
+    /// If `t` is before the last popped time. This guard is active in
+    /// release builds too: a past-dated event would be popped out of order
+    /// and silently corrupt causality, the worst possible failure mode for
+    /// a regression simulator.
     pub fn push(&mut self, t: Time, event: E) {
-        debug_assert!(t >= self.last_popped, "calendar queue: push into the past");
+        assert!(t >= self.last_popped, "calendar queue: push into the past");
         let seq = self.seq;
         self.seq += 1;
         let idx = self.bucket_of(t);
@@ -143,17 +149,17 @@ impl<E> CalendarQueue<E> {
             self.buckets[idx].push(e);
         }
         self.len = len;
-        // Reposition the cursor at the earliest pending event.
-        if let Some(min_time) = self
-            .buckets
-            .iter()
-            .filter_map(|b| b.first().map(|e| e.time))
-            .min()
-        {
-            let t = min_time.as_ps();
-            self.cursor_start_ps = t - (t % self.width_ps);
-            self.cursor = ((t / self.width_ps) as usize) & (new_n - 1);
-        }
+        // Reposition the cursor at the *last popped* instant, not the
+        // earliest pending event: every pending entry and every legal
+        // future push is >= `last_popped`, so scanning forward from its
+        // bucket window cannot skip anything. Repositioning at the
+        // earliest pending event was a subtle out-of-order bug — a later
+        // (legal) push landing in `[last_popped, earliest_pending)` sat in
+        // a bucket behind the fast-forwarded cursor and was popped a full
+        // year late. Caught by the calendar-vs-heap property suite.
+        let lp = self.last_popped.as_ps();
+        self.cursor_start_ps = lp - (lp % self.width_ps);
+        self.cursor = ((lp / self.width_ps) as usize) & (new_n - 1);
     }
 }
 

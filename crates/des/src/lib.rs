@@ -32,6 +32,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use calendar::CalendarQueue;
 pub use time::{Duration, Time};
 
 use std::cmp::Ordering;

@@ -113,6 +113,45 @@ impl Xoshiro256 {
         -mean * (1.0 - self.next_f64()).ln()
     }
 
+    /// Derive an independent child stream, advancing `self` by one draw.
+    ///
+    /// The child is seeded through SplitMix64 from a single draw of the
+    /// parent, so splitting is deterministic: the same parent state always
+    /// yields the same child, and the parent's continuation after the
+    /// split is the same as if it had produced one `next_u64`. Workload
+    /// generators split one campaign seed into per-endpoint / per-scenario
+    /// streams so adding a consumer never perturbs the draws of another.
+    #[must_use = "split returns the child stream"]
+    pub fn split(&mut self) -> Xoshiro256 {
+        Xoshiro256::seed_from_u64(self.next_u64())
+    }
+
+    /// Advance the state by 2^128 steps (the canonical xoshiro jump
+    /// polynomial) — equivalent to 2^128 calls to `next_u64`. Gives
+    /// non-overlapping substreams with certainty where [`Xoshiro256::split`]
+    /// gives them only probabilistically.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180e_c6d3_3cfd_0aba,
+            0xd5a6_1266_f0c9_392c,
+            0xa958_2618_e03f_c9aa,
+            0x39ab_dc45_29b1_661c,
+        ];
+        let mut s = [0u64; 4];
+        for word in JUMP {
+            for b in 0..64 {
+                if word & (1u64 << b) != 0 {
+                    s[0] ^= self.s[0];
+                    s[1] ^= self.s[1];
+                    s[2] ^= self.s[2];
+                    s[3] ^= self.s[3];
+                }
+                self.next_u64();
+            }
+        }
+        self.s = s;
+    }
+
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {

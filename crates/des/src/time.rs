@@ -5,6 +5,18 @@
 //! LANai cycles, 320 ns DMA setup — is exactly representable. Floating point
 //! time would accumulate rounding and break run-to-run determinism across
 //! optimization levels.
+//!
+//! All arithmetic here is **checked in every build profile**. The original
+//! operators compiled down to plain `+`/`-`/`*`, which panic under debug
+//! assertions but silently wrap in release — and release is exactly how the
+//! million-endpoint simulation campaigns run. A wrapped `Time` would reorder
+//! the pending-event set and corrupt a simulation without any diagnostic, so
+//! (mirroring the release-guard policy used for the protocol invariants in
+//! `fm-core`) overflow and underflow are promoted to explicit panics with a
+//! message naming the operation. Callers that want fallible arithmetic use
+//! [`Time::checked_add`] / [`Duration::checked_add`] /
+//! [`Duration::checked_mul`], and the saturating variants remain for spans
+//! that may legitimately clamp.
 
 use std::fmt;
 use std::iter::Sum;
@@ -18,6 +30,16 @@ pub const PS_PER_US: u64 = 1_000_000;
 pub const PS_PER_MS: u64 = 1_000_000_000;
 /// Picoseconds per second.
 pub const PS_PER_S: u64 = 1_000_000_000_000;
+
+/// Unit-count → picoseconds conversion that panics (in every profile, const
+/// contexts included) instead of wrapping when the count exceeds u64 reach.
+#[inline]
+const fn checked_scale(count: u64, ps_per_unit: u64) -> u64 {
+    match count.checked_mul(ps_per_unit) {
+        Some(ps) => ps,
+        None => panic!("time value overflows u64 picoseconds (~213 days)"),
+    }
+}
 
 /// An absolute instant in simulated time (picoseconds since t=0).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -40,24 +62,36 @@ macro_rules! ctors {
                 $ty(ps)
             }
             /// From nanoseconds.
+            ///
+            /// # Panics
+            /// If the value exceeds the ~213-day reach of u64 picoseconds.
             #[inline]
             pub const fn from_ns(ns: u64) -> Self {
-                $ty(ns * PS_PER_NS)
+                $ty(checked_scale(ns, PS_PER_NS))
             }
             /// From microseconds.
+            ///
+            /// # Panics
+            /// If the value exceeds the ~213-day reach of u64 picoseconds.
             #[inline]
             pub const fn from_us(us: u64) -> Self {
-                $ty(us * PS_PER_US)
+                $ty(checked_scale(us, PS_PER_US))
             }
             /// From milliseconds.
+            ///
+            /// # Panics
+            /// If the value exceeds the ~213-day reach of u64 picoseconds.
             #[inline]
             pub const fn from_ms(ms: u64) -> Self {
-                $ty(ms * PS_PER_MS)
+                $ty(checked_scale(ms, PS_PER_MS))
             }
             /// From seconds.
+            ///
+            /// # Panics
+            /// If the value exceeds the ~213-day reach of u64 picoseconds.
             #[inline]
             pub const fn from_s(s: u64) -> Self {
-                $ty(s * PS_PER_S)
+                $ty(checked_scale(s, PS_PER_S))
             }
             /// Raw picoseconds.
             #[inline]
@@ -99,6 +133,38 @@ impl Duration {
         Duration((ns * PS_PER_NS as f64).round() as u64)
     }
 
+    /// Fallible addition: `None` on u64 picosecond overflow.
+    #[inline]
+    pub const fn checked_add(self, rhs: Duration) -> Option<Duration> {
+        match self.0.checked_add(rhs.0) {
+            Some(ps) => Some(Duration(ps)),
+            None => None,
+        }
+    }
+
+    /// Fallible scaling: `None` on u64 picosecond overflow.
+    #[inline]
+    pub const fn checked_mul(self, rhs: u64) -> Option<Duration> {
+        match self.0.checked_mul(rhs) {
+            Some(ps) => Some(Duration(ps)),
+            None => None,
+        }
+    }
+
+    /// Saturating addition (clamps at the ~213-day u64 reach).
+    #[inline]
+    pub const fn saturating_add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating scaling (clamps at the ~213-day u64 reach). The
+    /// exponential-backoff doublers use this so a runaway retry count
+    /// clamps instead of aborting the run.
+    #[inline]
+    pub const fn saturating_mul(self, rhs: u64) -> Duration {
+        Duration(self.0.saturating_mul(rhs))
+    }
+
     /// Saturating subtraction.
     #[inline]
     pub fn saturating_sub(self, rhs: Duration) -> Duration {
@@ -115,13 +181,24 @@ impl Duration {
 }
 
 impl Time {
+    /// Fallible advance: `None` on u64 picosecond overflow.
+    #[inline]
+    pub const fn checked_add(self, rhs: Duration) -> Option<Time> {
+        match self.0.checked_add(rhs.0) {
+            Some(ps) => Some(Time(ps)),
+            None => None,
+        }
+    }
+
     /// The span from `earlier` to `self`.
     ///
     /// # Panics
-    /// Panics in debug builds if `earlier > self`.
+    /// Panics if `earlier > self` — a negative span is always a scheduling
+    /// bug, and letting it wrap to ~2^64 ps in release silently corrupts
+    /// any statistic it feeds.
     #[inline]
     pub fn since(self, earlier: Time) -> Duration {
-        debug_assert!(earlier <= self, "since() with a later instant");
+        assert!(earlier <= self, "since() with a later instant");
         Duration(self.0 - earlier.0)
     }
 
@@ -136,20 +213,28 @@ impl Add<Duration> for Time {
     type Output = Time;
     #[inline]
     fn add(self, rhs: Duration) -> Time {
-        Time(self.0 + rhs.0)
+        Time(
+            self.0
+                .checked_add(rhs.0)
+                .expect("Time + Duration overflows u64 picoseconds (~213 days)"),
+        )
     }
 }
 impl AddAssign<Duration> for Time {
     #[inline]
     fn add_assign(&mut self, rhs: Duration) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 impl Sub<Duration> for Time {
     type Output = Time;
     #[inline]
     fn sub(self, rhs: Duration) -> Time {
-        Time(self.0 - rhs.0)
+        Time(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Time - Duration underflows t=0"),
+        )
     }
 }
 impl Sub<Time> for Time {
@@ -163,40 +248,46 @@ impl Add for Duration {
     type Output = Duration;
     #[inline]
     fn add(self, rhs: Duration) -> Duration {
-        Duration(self.0 + rhs.0)
+        self.checked_add(rhs)
+            .expect("Duration + Duration overflows u64 picoseconds (~213 days)")
     }
 }
 impl AddAssign for Duration {
     #[inline]
     fn add_assign(&mut self, rhs: Duration) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 impl Sub for Duration {
     type Output = Duration;
     #[inline]
     fn sub(self, rhs: Duration) -> Duration {
-        Duration(self.0 - rhs.0)
+        Duration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Duration - Duration underflows (negative span)"),
+        )
     }
 }
 impl SubAssign for Duration {
     #[inline]
     fn sub_assign(&mut self, rhs: Duration) {
-        self.0 -= rhs.0;
+        *self = *self - rhs;
     }
 }
 impl Mul<u64> for Duration {
     type Output = Duration;
     #[inline]
     fn mul(self, rhs: u64) -> Duration {
-        Duration(self.0 * rhs)
+        self.checked_mul(rhs)
+            .expect("Duration * count overflows u64 picoseconds (~213 days)")
     }
 }
 impl Mul<Duration> for u64 {
     type Output = Duration;
     #[inline]
     fn mul(self, rhs: Duration) -> Duration {
-        Duration(self * rhs.0)
+        rhs * self
     }
 }
 impl Div<u64> for Duration {
@@ -216,7 +307,7 @@ impl Div<Duration> for Duration {
 }
 impl Sum for Duration {
     fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
-        Duration(iter.map(|d| d.0).sum())
+        iter.fold(Duration::ZERO, |acc, d| acc + d)
     }
 }
 

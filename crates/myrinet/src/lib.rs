@@ -15,6 +15,7 @@
 //! stress-tested in `tests/`).
 
 pub mod analytic;
+pub mod bigtree;
 pub mod chain;
 pub mod consts;
 pub mod network;
@@ -22,6 +23,7 @@ pub mod packet;
 pub mod switch;
 pub mod topology;
 
+pub use bigtree::ClosTopology;
 pub use chain::ChainNetwork;
 pub use consts::*;
 pub use network::{DeliveredPacket, Network, NetworkConfig};

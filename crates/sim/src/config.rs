@@ -1,0 +1,62 @@
+//! Simulation configuration — the same knobs as the live
+//! `fm_core::EndpointConfig` / switch shard config, plus the calibrated
+//! cost model that turns each discipline into event timings.
+
+use fm_core::CostModel;
+
+/// Knobs of a simulated cluster. Defaults mirror the live
+//  incast experiments (`fm_testbed::scaling::incast_config`): a 32-frame
+/// window against an 8-frame receive ring, so overload actually bounces.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Outstanding-frame window = reject-queue capacity per sender
+    /// (paper Section 4.5: buffering grows with *outstanding*, not with
+    /// cluster size — the campaign's central memory gate).
+    pub window: u32,
+    /// Receive-ring depth per endpoint, in frames.
+    pub recv_ring: u32,
+    /// Frames a switch pulls from one input per DRR service turn — the
+    /// bound on stash growth (live shards: `min_batch`).
+    pub drr_batch: u32,
+    /// Timer-driven retransmissions per frame before the destination is
+    /// declared dead (bounces don't count: a bouncing receiver is alive).
+    pub retry_budget: u32,
+    /// Per-link loss probability (0 for a healthy fabric).
+    pub loss_p: f64,
+    /// Payload bytes per message (the live scaling runs use one full
+    /// 128-byte FM frame).
+    pub msg_bytes: u32,
+    /// Receiver service slowdown factor (1 = calibrated speed); the
+    /// overload scenario throttles receivers the way the live incast
+    /// throttles `extract`.
+    pub recv_slowdown: u64,
+    /// Per-event costs, calibrated from `BENCH_scaling.json`.
+    pub cost: CostModel,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            window: 32,
+            recv_ring: 8,
+            drr_batch: 4,
+            retry_budget: 16,
+            loss_p: 0.0,
+            msg_bytes: 128,
+            recv_slowdown: 1,
+            cost: CostModel::CALIBRATED,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validate invariants the simulator assumes.
+    pub fn check(&self) {
+        assert!(self.window >= 1, "window must be >= 1");
+        assert!(self.recv_ring >= 1, "recv_ring must be >= 1");
+        assert!(self.drr_batch >= 1, "drr_batch must be >= 1");
+        assert!(self.recv_slowdown >= 1, "recv_slowdown must be >= 1");
+        assert!((0.0..1.0).contains(&self.loss_p), "loss_p in [0,1)");
+        assert!(self.msg_bytes >= 1);
+    }
+}

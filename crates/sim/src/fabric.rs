@@ -1,0 +1,185 @@
+//! The simulated network fabric — table-driven at calibration sizes,
+//! computed beyond them.
+//!
+//! The ISSUE of record for this layer: the simulator must reuse the live
+//! runtime's [`SwitchTopology`] route tables *directly* wherever the live
+//! runtime can actually be run (4–64 endpoints, where `sim_vs_live`
+//! validates the cost model), and only switch to the `O(1)`-state
+//! [`ClosTopology`] router beyond the reach of u16 node ids and
+//! `O(switches²)` tables. [`SimFabric`] is that seam: one enum, one
+//! `path_into`, and the rest of the simulator never knows which router it
+//! is riding.
+
+use fm_myrinet::{ClosTopology, NodeId, SwitchTopology};
+
+/// Hosts where `SwitchTopology` tables remain the fabric of choice: the
+/// largest size the live runtime is actually validated at, with headroom.
+pub const TABLES_MAX_HOSTS: u64 = 256;
+
+/// A routable fabric for the simulator.
+#[derive(Debug)]
+pub enum SimFabric {
+    /// The live runtime's exact topology type and route tables (the
+    /// `ClusterWiring::Wide` shape the scaling benches run).
+    Tables(SwitchTopology),
+    /// Computed three-level fat-tree routing for campaign sizes.
+    Clos(ClosTopology),
+}
+
+impl SimFabric {
+    /// The fabric for an `n`-endpoint simulation: live tables while the
+    /// live runtime could hold `n`, computed Clos beyond.
+    pub fn for_endpoints(n: u64) -> SimFabric {
+        if n <= TABLES_MAX_HOSTS {
+            SimFabric::Tables(SwitchTopology::for_cluster_wide(n as usize))
+        } else {
+            SimFabric::Clos(ClosTopology::for_hosts(n))
+        }
+    }
+
+    /// Wrap an explicit topology (tests pin specific shapes).
+    pub fn tables(topo: SwitchTopology) -> SimFabric {
+        SimFabric::Tables(topo)
+    }
+
+    pub fn hosts(&self) -> u64 {
+        match self {
+            SimFabric::Tables(t) => t.hosts() as u64,
+            SimFabric::Clos(c) => c.hosts(),
+        }
+    }
+
+    pub fn switches(&self) -> u64 {
+        match self {
+            SimFabric::Tables(t) => t.switches() as u64,
+            SimFabric::Clos(c) => c.switches(),
+        }
+    }
+
+    pub fn ports(&self) -> u64 {
+        match self {
+            SimFabric::Tables(t) => t.ports() as u64,
+            SimFabric::Clos(c) => c.ports() as u64,
+        }
+    }
+
+    /// A short human label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            SimFabric::Tables(t) => {
+                format!("tables(switches={},ports={})", t.switches(), t.ports())
+            }
+            SimFabric::Clos(c) => format!("clos(k={})", c.arity()),
+        }
+    }
+
+    /// Switch traversals between two hosts.
+    pub fn hops(&self, src: u64, dst: u64) -> usize {
+        match self {
+            SimFabric::Tables(t) => t.hops(NodeId(src as u16), NodeId(dst as u16)),
+            SimFabric::Clos(c) => c.hops(src, dst),
+        }
+    }
+
+    /// The per-flow stable switch path, appended to `out`. For tables the
+    /// walk applies [`SwitchTopology::flow_link`] hop by hop — byte-for-
+    /// byte the pick the live switch shards make; for Clos the computed
+    /// equivalent (proven equivalent in `fm-myrinet`'s bigtree tests).
+    pub fn path_into(&self, src: u64, dst: u64, out: &mut Vec<u32>) {
+        match self {
+            SimFabric::Tables(t) => {
+                let (ns, nd) = (NodeId(src as u16), NodeId(dst as u16));
+                let to = t.switch_of(nd);
+                let mut cur = t.switch_of(ns);
+                out.push(cur as u32);
+                while cur != to {
+                    let link = t.flow_link(cur, to, ns, nd);
+                    cur = t.links_of(cur)[link].peer;
+                    out.push(cur as u32);
+                }
+            }
+            SimFabric::Clos(c) => {
+                c.path_into(src, dst, ClosTopology::flow_hash(src, dst), out);
+            }
+        }
+    }
+
+    /// Bytes of routing state the fabric keeps — what the campaign's
+    /// bounded-memory gate compares against the `switches × ports` bound.
+    /// Measured, not estimated: for tables it sums the actual per-pair
+    /// candidate vectors, for Clos it is the router struct itself.
+    pub fn routing_state_bytes(&self) -> u64 {
+        match self {
+            SimFabric::Tables(t) => {
+                let s = t.switches();
+                let mut entries = 0u64;
+                for from in 0..s {
+                    for to in 0..s {
+                        entries += t.route_choices(from, to).len() as u64;
+                    }
+                }
+                // Candidate entries plus the dense distance matrix.
+                entries * 8 + (s as u64) * (s as u64) * 8
+            }
+            SimFabric::Clos(c) => c.routing_state_bytes(),
+        }
+    }
+
+    /// Depth of the binomial collective tree over `n` alive endpoints.
+    pub fn collective_depth(n: u64) -> u32 {
+        if n <= 1 {
+            0
+        } else {
+            64 - (n - 1).leading_zeros()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_tables_then_clos() {
+        assert!(matches!(SimFabric::for_endpoints(64), SimFabric::Tables(_)));
+        assert!(matches!(
+            SimFabric::for_endpoints(TABLES_MAX_HOSTS),
+            SimFabric::Tables(_)
+        ));
+        let big = SimFabric::for_endpoints(1_000_000);
+        assert!(matches!(big, SimFabric::Clos(_)));
+        assert!(big.hosts() >= 1_000_000);
+    }
+
+    #[test]
+    fn table_paths_walk_real_trunks_and_match_hops() {
+        let f = SimFabric::for_endpoints(64);
+        let mut path = Vec::new();
+        for src in 0..64u64 {
+            for dst in (0..64u64).step_by(5) {
+                if src == dst {
+                    continue;
+                }
+                path.clear();
+                f.path_into(src, dst, &mut path);
+                assert_eq!(path.len(), f.hops(src, dst), "{src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn collective_depth_is_ceil_log2() {
+        assert_eq!(SimFabric::collective_depth(1), 0);
+        assert_eq!(SimFabric::collective_depth(2), 1);
+        assert_eq!(SimFabric::collective_depth(3), 2);
+        assert_eq!(SimFabric::collective_depth(1024), 10);
+        assert_eq!(SimFabric::collective_depth(1025), 11);
+        assert_eq!(SimFabric::collective_depth(1_024_000), 20);
+    }
+
+    #[test]
+    fn clos_routing_state_is_far_under_the_gate() {
+        let f = SimFabric::for_endpoints(1_000_000);
+        assert!(f.routing_state_bytes() < f.switches() * f.ports() * 8);
+    }
+}

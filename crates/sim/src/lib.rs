@@ -1,0 +1,46 @@
+//! # fm-sim — the million-endpoint campaign simulator
+//!
+//! The live switched runtime (`fm_core::switched` + `fm_testbed::scaling`)
+//! proves the paper's claims with real threads and real rings — up to the
+//! dozens of endpoints one machine can host. This crate carries the same
+//! disciplines into the regime the paper argues *about* but could never
+//! measure: thousands to a million endpoints, simulated as discrete events
+//! on `fm-des` with per-event costs calibrated from the committed live
+//! benchmarks (`BENCH_scaling.json` → [`fm_core::CostModel`]).
+//!
+//! What is simulated, and what it is a replay of:
+//!
+//! | simulated process | live mechanism |
+//! |---|---|
+//! | sender window + reject-queue slots, return-to-sender bounces | `fm_core::flow` (paper §4.5) |
+//! | DRR switch service, bounded per-turn pulls | `fm_core::switched` shards |
+//! | per-source receive-ring quotas | the incast-fairness fix |
+//! | loss, exponential-backoff retransmit, dead-peer budget, `revive_peer` | the reliability layer |
+//! | ECMP fat-tree routing | [`fm_myrinet::SwitchTopology`] tables at calibration sizes — used *directly*, not re-derived — and the table-free [`fm_myrinet::ClosTopology`] beyond them |
+//!
+//! **Validity envelope.** The cost model is trusted where it was checked:
+//! 4–64 endpoints, where `tests/sim_vs_live.rs` runs the same seeded
+//! scenarios on the real threaded cluster and on this simulator and
+//! compares fairness, reject behaviour and bandwidth-curve shape. Beyond
+//! 64 endpoints the simulation extrapolates; its claims there are about
+//! *protocol invariants* (bounded memory, exactly-once delivery, fairness
+//! under quota admission, O(log N) collective depth), not about absolute
+//! wall-clock throughput of any real machine. See `DESIGN.md`, "Beyond the
+//! paper: the simulation campaign".
+//!
+//! Everything is deterministic: same seed ⇒ same event order ⇒
+//! bit-identical reports ([`cluster::SimCluster::digest`] pins it).
+
+pub mod cluster;
+pub mod config;
+pub mod fabric;
+pub mod report;
+pub mod scenarios;
+
+pub use cluster::{Peaks, SimCluster, Totals};
+pub use config::SimConfig;
+pub use fabric::{SimFabric, TABLES_MAX_HOSTS};
+pub use report::{goodput_mbs, jain};
+pub use scenarios::{
+    churn, collective, incast, overload, uniform, ChurnReport, CollectiveReport, LoadReport,
+};

@@ -1,0 +1,90 @@
+//! Churn-at-scale soak: seeded join/leave/revive over a ≥10k-endpoint
+//! simulated fabric (Clos k=36, 11 664 hosts — past the reach of u16 node
+//! ids and O(switches²) route tables, so this runs on the computed
+//! router the campaign uses for every large size).
+//!
+//! What the soak pins, per the campaign's reliability model (PR-2
+//! semantics: retransmit budget, dead-peer verdicts, `revive_peer`):
+//!
+//! * **Exactly-once per epoch** — `fm_sim::churn` asserts the accounting
+//!   identity `enqueued = delivered + failed + abandoned` inside every
+//!   epoch (not just in aggregate), so simply completing IS the check;
+//!   duplicate suppression is additionally bounded here.
+//! * **Dead peers detected within the retry budget** — the dead verdict
+//!   must land on exactly the `budget + 1`-th silent timer, never later
+//!   (a bounce resets the count: a bouncing receiver is alive).
+//! * **No unbounded per-peer state after leave** — receiver-side
+//!   sequence/quota state shrinks back to the live-partner count after
+//!   departures; doubling churn history must not grow it.
+
+use fm_sim::{churn, SimConfig};
+
+/// Fabric request that lands on the k=36 Clos (11 664 hosts).
+const N: u64 = 10_500;
+const PARTICIPANTS: u64 = 10_000;
+const MSGS: u64 = 2;
+
+#[test]
+fn ten_thousand_endpoint_churn_is_exactly_once_and_bounded() {
+    let cfg = SimConfig::default();
+    let r = churn(N, PARTICIPANTS, 3, MSGS, cfg, 1234);
+    assert!(r.n >= 10_000, "fabric must hold at least 10k endpoints");
+    assert_eq!(r.participants, PARTICIPANTS);
+
+    // ~10% of participants die per epoch; every casualty with an alive
+    // partner must be detected (partners of dead-dead pairs never send).
+    assert!(
+        r.dead_detections >= PARTICIPANTS / 20,
+        "only {} dead detections over 3 epochs",
+        r.dead_detections
+    );
+    // Detection lands on the first miss past the budget — never later.
+    assert_eq!(
+        r.max_detect_miss,
+        cfg.retry_budget + 1,
+        "dead verdict drifted past the retry budget"
+    );
+    // Fail-fast accounting: sends to already-detected dead peers fail
+    // without consuming the retry machinery.
+    assert!(r.abandoned > 0);
+    assert!(r.delivered > 0);
+    // Suppressed duplicates stay marginal (spurious RTO under fabric
+    // queueing, all deduplicated by receiver sequencing).
+    assert!(
+        r.dups <= r.enqueued / 10,
+        "{} dups for {} enqueued",
+        r.dups,
+        r.enqueued
+    );
+    // Per-peer receiver state after the final cleanup is bounded by live
+    // partners (1 each), not by churn history.
+    assert!(
+        r.max_peer_state <= 2,
+        "peer state leaked: {} entries",
+        r.max_peer_state
+    );
+}
+
+#[test]
+fn churn_state_does_not_grow_with_history() {
+    // Twice the epochs, same partners: the residual per-peer state and
+    // the detection bound must be identical — churn history may not
+    // accumulate anywhere.
+    let cfg = SimConfig::default();
+    let short = churn(N, PARTICIPANTS, 2, MSGS, cfg, 77);
+    let long = churn(N, PARTICIPANTS, 4, MSGS, cfg, 77);
+    assert_eq!(short.max_peer_state, long.max_peer_state);
+    assert_eq!(short.max_detect_miss, long.max_detect_miss);
+    assert!(long.dead_detections > short.dead_detections);
+}
+
+#[test]
+fn churn_soak_is_seed_reproducible() {
+    let cfg = SimConfig::default();
+    let a = churn(N, PARTICIPANTS, 2, MSGS, cfg, 9);
+    let b = churn(N, PARTICIPANTS, 2, MSGS, cfg, 9);
+    assert_eq!(a.digest, b.digest, "same seed must replay bit-identically");
+    assert_eq!(a.events, b.events);
+    let c = churn(N, PARTICIPANTS, 2, MSGS, cfg, 10);
+    assert_ne!(a.digest, c.digest, "different seed must actually differ");
+}

@@ -58,7 +58,11 @@ pub struct ScalingReport {
     pub fairness: f64,
 }
 
-fn jain(xs: &[f64]) -> f64 {
+/// Jain's fairness index over per-flow rates: 1.0 = perfectly fair,
+/// `1/n` = one flow starves the rest. Public so the DES campaign
+/// (`fm-sim`) can cross-check that its fairness gate applies the exact
+/// formula the live harness reports.
+pub fn jain(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 1.0;
     }
